@@ -1,0 +1,28 @@
+# Convenience targets for the HERD reproduction.
+
+.PHONY: install test bench figures figures-full examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro.bench.cli all --scale bench
+
+figures-full:
+	python -m repro.bench.cli all --scale full
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

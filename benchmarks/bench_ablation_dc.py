@@ -1,0 +1,56 @@
+"""Extension (Section 5.5): Dynamically Connected requests at scale.
+
+The paper expects HERD's ~260-client scalability limit "to be resolved
+with the introduction of Dynamically Connected Transport in the new
+Connect-IB cards".  This benchmark carries requests over a modelled DC
+transport — one shared DC target at the server instead of one UC QP
+per client — and checks that the Figure 12 knee disappears.
+"""
+
+from repro.bench.figures import run_herd
+from repro.bench.report import FigureData, Series, format_figure
+
+CLIENT_COUNTS = (51, 260, 460)
+
+
+def build() -> FigureData:
+    series = []
+    for transport in ("UC", "DC"):
+        pts = []
+        for n in CLIENT_COUNTS:
+            from repro.herd import HerdCluster, HerdConfig
+            from repro.workloads import Workload
+
+            cluster = HerdCluster(
+                HerdConfig(n_server_processes=6, request_transport=transport),
+                n_client_machines=max(17, n // 5),
+                seed=2,
+            )
+            cluster.add_clients(
+                n, Workload(get_fraction=0.95, value_size=32, n_keys=1 << 12)
+            )
+            cluster.preload(range(1 << 12), 32)
+            pts.append((n, cluster.run(measure_ns=120_000.0).mops))
+        series.append(Series("requests over %s" % transport, pts))
+    return FigureData(
+        "ablation-dc",
+        "HERD request transport: UC (paper) vs Dynamically Connected",
+        "client processes",
+        "Mops",
+        series,
+    )
+
+
+def test_ablation_dc_scaling(benchmark, emit):
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_dc", format_figure(data))
+
+    uc = data.series_by_label("requests over UC")
+    dc = data.series_by_label("requests over DC")
+
+    # At moderate scale they are equivalent.
+    assert abs(uc.y_for(51) - dc.y_for(51)) / uc.y_for(51) < 0.1
+    # Past the QP-cache knee, UC declines while DC holds its peak.
+    assert uc.y_for(460) < 0.7 * uc.y_for(51)
+    assert dc.y_for(460) > 0.85 * dc.y_for(51)
+    assert dc.y_for(460) > 1.5 * uc.y_for(460)

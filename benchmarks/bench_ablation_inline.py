@@ -1,0 +1,60 @@
+"""Ablation (Sections 4.3, 5.3): HERD's inline-response cutoff.
+
+The design choice under test: responses are inlined into the WQE below
+144 bytes (PIO wins for small payloads) and DMA-fetched above it
+(DMA wins for large ones, Figure 4b).  We force each policy on both
+sides of the cutoff.
+"""
+
+from repro.bench.report import FigureData, Series, format_figure
+from repro.bench.figures import run_herd
+from repro.hw import APT
+
+VALUE_SIZES = (32, 128, 240)
+
+
+def build() -> FigureData:
+    always_inline = APT.replace(herd_inline_cutoff=APT.max_inline)
+    never_inline = APT.replace(herd_inline_cutoff=0)
+    series = []
+    for label, profile in (
+        ("always inline (<=256)", always_inline),
+        ("never inline", never_inline),
+        ("cutoff at 144 (HERD)", APT),
+    ):
+        pts = [
+            (size, run_herd(profile=profile, value_size=size, measure_ns=120_000.0).mops)
+            for size in VALUE_SIZES
+        ]
+        series.append(Series(label, pts))
+    return FigureData(
+        "ablation-inline",
+        "Response path: inlined (PIO) vs DMA-fetched SENDs",
+        "value size (B)",
+        "Mops",
+        series,
+    )
+
+
+def test_ablation_inline_cutoff(benchmark, emit):
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_inline", format_figure(data))
+
+    inline = data.series_by_label("always inline (<=256)")
+    dma = data.series_by_label("never inline")
+    herd = data.series_by_label("cutoff at 144 (HERD)")
+
+    # Small values: inlining wins big (PIO beats the WQE+payload fetch).
+    assert inline.y_for(32) > 1.5 * dma.y_for(32)
+    # Large values: the gap mostly closes (the raw verb rates cross
+    # between 144 and 192 B, Figure 4; inside HERD the DMA engine also
+    # carries request landings, which keeps inlining slightly ahead
+    # through 256 B in our model — the paper's hardware saturates PIO
+    # harder, hence its 144 B cutoff).
+    assert dma.y_for(240) > 0.65 * inline.y_for(240)
+    assert (inline.y_for(240) - dma.y_for(240)) < 0.5 * (
+        inline.y_for(32) - dma.y_for(32)
+    )
+    # HERD follows its configured policy faithfully on both sides.
+    assert herd.y_for(32) >= 0.95 * inline.y_for(32)
+    assert herd.y_for(240) >= 0.95 * dma.y_for(240)

@@ -1,0 +1,32 @@
+"""Figure 1: the DMA and network steps involved in posting verbs."""
+
+from repro.bench.trace import _run_one, fig1
+
+
+def test_fig01_verb_step_timelines(benchmark, emit):
+    text = benchmark.pedantic(fig1, rounds=1, iterations=1)
+    emit("fig01", text)
+
+    inline_write = _run_one("WRITE, inlined, unreliable, unsignaled")
+    rc_write = _run_one("WRITE (signaled, RC)")
+    read = _run_one("READ")
+    send = _run_one("SEND/RECV (UD)")
+
+    # The paper's Figure 1 distinctions, as properties of the traces:
+    # an inlined unreliable WRITE involves no DMA read at the requester
+    # and no return traffic at all ...
+    assert "requester.pcie.dma" not in inline_write
+    assert "wire responder->requester" not in inline_write
+    # ... a signaled RC WRITE fetches its payload by DMA and waits for
+    # an ACK before the completion is pollable ...
+    assert "requester.pcie.dma" in rc_write
+    assert "wire responder->requester" in rc_write
+    assert "completion (WRITE) pollable" in rc_write
+    # ... a READ makes the responder DMA-read the data and ship it back ...
+    assert "responder.pcie.dma" in read
+    assert "wire responder->requester" in read
+    assert "completion (READ) pollable" in read
+    # ... and a SEND consumes a pre-posted RECV, generating a RECV
+    # completion at the responder.
+    assert "completion (RECV) pollable" in send
+    assert "wire responder->requester" not in send

@@ -1,0 +1,29 @@
+"""Figure 2: latency of verbs and ECHO operations."""
+
+from repro.bench.figures import fig2
+from repro.bench.report import format_figure
+
+
+def test_fig02_verb_latency(benchmark, emit):
+    data = benchmark.pedantic(fig2, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig02", format_figure(data))
+
+    wr_inline = data.series_by_label("WR-INLINE")
+    write = data.series_by_label("WRITE")
+    read = data.series_by_label("READ")
+    echo_half = data.series_by_label("ECHO/2")
+
+    for size in (4, 32, 64):
+        # Inlining avoids a DMA read, so inlined WRITEs are fastest.
+        assert wr_inline.y_for(size) < write.y_for(size)
+        # READ and WRITE traverse the same path: similar latency.
+        assert abs(read.y_for(size) - write.y_for(size)) / read.y_for(size) < 0.2
+        # The one-way WRITE latency (ECHO/2) is about half of READ's.
+        assert 0.3 < echo_half.y_for(size) / read.y_for(size) < 0.7
+        # Everything small is in the 1-3 microsecond regime.
+        assert 1.0 < read.y_for(size) < 3.0
+
+    # Latency grows with payload (PIO time for ECHO, wire for the rest).
+    assert read.y_for(1024) > read.y_for(4)
+    echo = data.series_by_label("ECHO")
+    assert echo.y_for(256) > echo.y_for(4)

@@ -1,0 +1,26 @@
+"""Figure 3: inbound verbs throughput."""
+
+from repro.bench.figures import fig3
+from repro.bench.report import format_figure
+
+
+def test_fig03_inbound_throughput(benchmark, emit):
+    data = benchmark.pedantic(fig3, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig03", format_figure(data))
+
+    write_uc = data.series_by_label("WRITE-UC")
+    write_rc = data.series_by_label("WRITE-RC")
+    read_rc = data.series_by_label("READ-RC")
+
+    # Paper: ~35 Mops inbound WRITEs, ~34% above the 26 Mops READ peak,
+    # for payloads up to 128 B.
+    for size in (32, 128):
+        assert 30.0 < write_uc.y_for(size) < 40.0
+        assert 23.0 < read_rc.y_for(size) < 29.0
+        assert write_uc.y_for(size) > 1.2 * read_rc.y_for(size)
+        # Reliable and unreliable WRITEs are nearly identical inbound.
+        assert abs(write_rc.y_for(size) - write_uc.y_for(size)) / write_uc.y_for(size) < 0.1
+
+    # Large payloads become bandwidth-bound and converge downwards.
+    assert write_uc.y_for(1024) < 10.0
+    assert read_rc.y_for(1024) < 10.0

@@ -1,0 +1,36 @@
+"""Figure 4: outbound verbs throughput."""
+
+from repro.bench.figures import fig4
+from repro.bench.report import format_figure
+
+
+def test_fig04_outbound_throughput(benchmark, emit):
+    data = benchmark.pedantic(fig4, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig04", format_figure(data))
+
+    wr_inline = data.series_by_label("WR-INLINE")
+    send_ud = data.series_by_label("SEND-UD")
+    write_uc = data.series_by_label("WRITE-UC")
+    read_rc = data.series_by_label("READ-RC")
+
+    # Small payloads: inlined WRITEs and SENDs beat READs, which beat
+    # non-inlined (DMA-fetched) WRITEs.
+    for size in (16, 32):
+        assert wr_inline.y_for(size) > read_rc.y_for(size)
+        assert send_ud.y_for(size) > read_rc.y_for(size) * 0.9
+        assert read_rc.y_for(size) > write_uc.y_for(size)
+    assert wr_inline.y_for(16) > 23.0
+    assert 19.0 < read_rc.y_for(32) < 25.0
+    assert write_uc.y_for(32) < 19.0
+
+    # PIO steps: inlined throughput declines with payload far faster
+    # than the DMA path — they approach, which is why HERD stops
+    # inlining large responses (144 B on Apt).
+    inline_decline = wr_inline.y_for(16) - wr_inline.y_for(256)
+    dma_decline = write_uc.y_for(16) - write_uc.y_for(256)
+    assert wr_inline.y_for(256) < wr_inline.y_for(16) * 0.7
+    assert dma_decline < 0.5 * inline_decline
+    assert wr_inline.y_for(256) < write_uc.y_for(256) * 1.6
+
+    # The UD header makes SENDs step down earlier than WRITEs.
+    assert send_ud.y_for(16) <= wr_inline.y_for(16) + 0.5

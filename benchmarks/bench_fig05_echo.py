@@ -1,0 +1,31 @@
+"""Figure 5: ECHO throughput by verb pair and optimization level."""
+
+from repro.bench.figures import fig5
+from repro.bench.report import format_figure
+
+LEVELS = ("basic", "+unreliable", "+unsignaled", "+inlined")
+
+
+def test_fig05_echo_throughput(benchmark, emit):
+    data = benchmark.pedantic(fig5, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig05", format_figure(data))
+
+    wr_wr = data.series_by_label("WR/WR")
+    wr_send = data.series_by_label("WR/SEND")
+    send_send = data.series_by_label("SEND/SEND")
+
+    # Each optimization increases throughput, cumulatively.
+    for series in (wr_wr, wr_send, send_send):
+        values = [series.y_for(level) for level in LEVELS]
+        assert values == sorted(values), (series.label, values)
+        assert values[-1] > 2.0 * values[0]
+
+    # Paper's peak rates: WR/WR ~26, WR/SEND ~26 (the hybrid costs
+    # nothing), SEND/SEND ~21.
+    assert 22.0 < wr_wr.y_for("+inlined") < 30.0
+    assert abs(wr_send.y_for("+inlined") - wr_wr.y_for("+inlined")) < 2.0
+    assert 17.0 < send_send.y_for("+inlined") < 23.0
+
+    # Optimized SEND/SEND exceeds three-fourths of the 26 Mops READ
+    # peak — the observation that invalidates multi-READ GET designs.
+    assert send_send.y_for("+inlined") > 0.75 * 26.0

@@ -1,0 +1,22 @@
+"""Figure 6: all-to-all scaling of UC WRITEs vs UD SENDs."""
+
+from repro.bench.figures import fig6
+from repro.bench.report import format_figure
+
+
+def test_fig06_alltoall_scaling(benchmark, emit):
+    data = benchmark.pedantic(fig6, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig06", format_figure(data))
+
+    inbound = data.series_by_label("in-write-uc")
+    out_write = data.series_by_label("out-write-uc")
+    out_send = data.series_by_label("out-send-ud")
+
+    # Inbound WRITEs scale: 256 responder QPs still run near peak.
+    assert inbound.y_for(16) > 30.0
+    # Outbound WRITEs collapse once N^2 requester contexts thrash.
+    assert out_write.y_for(16) < 0.6 * out_write.y_for(8)
+    assert out_write.y_for(16) < 0.45 * inbound.y_for(16)
+    # Outbound SENDs over UD keep scaling (one QP per process).
+    assert out_send.y_for(16) > 0.9 * out_send.y_for(8)
+    assert out_send.y_for(16) > 2.0 * out_write.y_for(16)

@@ -1,0 +1,29 @@
+"""Figure 7: effect of prefetching on throughput."""
+
+from repro.bench.figures import fig7
+from repro.bench.report import format_figure
+
+
+def test_fig07_prefetch(benchmark, emit):
+    data = benchmark.pedantic(fig7, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig07", format_figure(data))
+
+    n2_pref = data.series_by_label("N=2, prefetch")
+    n2_nopref = data.series_by_label("N=2, no prefetch")
+    n8_pref = data.series_by_label("N=8, prefetch")
+    n8_nopref = data.series_by_label("N=8, no prefetch")
+
+    # 5 cores deliver (near-)peak throughput even with N=8 accesses,
+    # when prefetching; without it, throughput craters.
+    assert n8_pref.y_for(5) > 15.0
+    assert n8_pref.y_for(5) > 2.5 * n8_nopref.y_for(5)
+    assert n2_pref.y_for(5) > n2_nopref.y_for(5)
+
+    # More accesses hurt more without prefetching.
+    assert n8_nopref.y_for(5) < n2_nopref.y_for(5)
+
+    # Throughput rises with cores until the NIC/PIO ceiling.
+    assert n8_pref.y_for(5) > n8_pref.y_for(1)
+    # Prefetching with N=8 at 5 cores roughly matches N=2 prefetched —
+    # "significant headroom to implement more complex applications".
+    assert n8_pref.y_for(5) > 0.75 * n2_pref.y_for(5)

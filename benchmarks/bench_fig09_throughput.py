@@ -1,0 +1,37 @@
+"""Figure 9: end-to-end throughput comparison, 48-byte items."""
+
+from repro.bench.figures import fig9
+from repro.bench.report import format_figure
+
+MIXES = ("5% PUT", "50% PUT", "100% PUT")
+
+
+def test_fig09_end_to_end_throughput(benchmark, emit):
+    data = benchmark.pedantic(fig9, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig09", format_figure(data))
+
+    herd = data.series_by_label("HERD")
+    pilaf = data.series_by_label("Pilaf-em-OPT")
+    farm = data.series_by_label("FaRM-em")
+    farm_var = data.series_by_label("FaRM-em-VAR")
+
+    # HERD: ~26 Mops regardless of the workload mix (paper: both
+    # read- and write-intensive reach 26).
+    for mix in MIXES:
+        assert 22.0 < herd.y_for(mix) < 30.0
+    spread = max(herd.y_for(m) for m in MIXES) - min(herd.y_for(m) for m in MIXES)
+    assert spread < 2.0
+
+    # Read-intensive: HERD is over 2x the READ-based designs.
+    assert herd.y_for("5% PUT") > 2.0 * pilaf.y_for("5% PUT")
+    assert herd.y_for("5% PUT") > 1.4 * farm.y_for("5% PUT")
+    assert herd.y_for("5% PUT") > 1.7 * farm_var.y_for("5% PUT")
+
+    # Paper's bands: Pilaf ~9.9, FaRM-em ~17.2, FaRM-em-VAR ~11.4.
+    assert 8.0 < pilaf.y_for("5% PUT") < 12.0
+    assert 14.0 < farm.y_for("5% PUT") < 20.0
+    assert 10.0 < farm_var.y_for("5% PUT") < 16.0
+
+    # The paper's surprise: emulated systems' PUTs beat their own GETs.
+    assert pilaf.y_for("100% PUT") > pilaf.y_for("5% PUT")
+    assert farm.y_for("100% PUT") > farm.y_for("5% PUT")

@@ -1,0 +1,34 @@
+"""Figure 10: end-to-end throughput vs value size."""
+
+from repro.bench.figures import fig10
+from repro.bench.report import format_figure
+
+
+def test_fig10_value_size(benchmark, emit):
+    data = benchmark.pedantic(fig10, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig10", format_figure(data))
+
+    herd = data.series_by_label("HERD")
+    pilaf = data.series_by_label("Pilaf-em-OPT")
+    farm = data.series_by_label("FaRM-em")
+    farm_var = data.series_by_label("FaRM-em-VAR")
+
+    # HERD sustains (near-)peak throughput through small values ...
+    assert herd.y_for(4) > 22.0
+    assert herd.y_for(32) > 22.0
+    # ... and beats every READ-based design there.
+    for size in (4, 16, 32):
+        assert herd.y_for(size) > pilaf.y_for(size)
+        assert herd.y_for(size) > farm_var.y_for(size)
+
+    # FaRM-em's READ grows as 6*(SV+16): its curve collapses fastest.
+    assert farm.y_for(256) < 0.35 * farm.y_for(16)
+    assert farm.y_for(1024) < farm_var.y_for(1024) * 0.5
+
+    # Pilaf's GET cost is nearly size-independent until bandwidth bites.
+    assert abs(pilaf.y_for(4) - pilaf.y_for(128)) / pilaf.y_for(4) < 0.15
+
+    # Large values: HERD, Pilaf, and FaRM-em-VAR converge (paper: the
+    # three are within ~10%; we allow 25% at bench scale).
+    big = [herd.y_for(1024), pilaf.y_for(1024), farm_var.y_for(1024)]
+    assert max(big) < 1.25 * min(big)

@@ -1,0 +1,33 @@
+"""Figure 11: end-to-end latency vs throughput."""
+
+from repro.bench.figures import fig11
+from repro.bench.report import format_figure
+
+
+def test_fig11_latency_vs_throughput(benchmark, emit):
+    data = benchmark.pedantic(fig11, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig11", format_figure(data))
+
+    herd_tput = data.series_by_label("HERD Mops")
+    herd_lat = data.series_by_label("HERD lat_us")
+    pilaf_lat = data.series_by_label("Pilaf-em-OPT lat_us")
+    farm_lat = data.series_by_label("FaRM-em lat_us")
+    var_lat = data.series_by_label("FaRM-em-VAR lat_us")
+
+    # HERD saturates near 25-26 Mops with single-digit-us latency.
+    peak = max(y for _x, y in herd_tput.points)
+    assert 22.0 < peak < 30.0
+    assert herd_lat.y_for(51) < 10.0
+
+    # At peak load, HERD's latency is well below Pilaf's and VAR's
+    # (paper: over 2x lower at their respective peaks).
+    assert pilaf_lat.y_for(51) > 2.0 * herd_lat.y_for(51)
+    assert var_lat.y_for(51) > 1.5 * herd_lat.y_for(51)
+
+    # FaRM-em (single READ, no server work) has the lowest unloaded
+    # latency; Pilaf (2.6 READs) the highest.
+    assert farm_lat.y_for(2) < herd_lat.y_for(2)
+    assert pilaf_lat.y_for(2) > var_lat.y_for(2) > farm_lat.y_for(2)
+
+    # Latency rises with load for every system.
+    assert herd_lat.y_for(51) > herd_lat.y_for(2)

@@ -1,0 +1,30 @@
+"""Figure 13: throughput as a function of server CPU cores."""
+
+from repro.bench.figures import fig13
+from repro.bench.report import format_figure
+
+
+def test_fig13_cpu_cores(benchmark, emit):
+    data = benchmark.pedantic(fig13, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig13", format_figure(data))
+
+    herd = data.series_by_label("HERD")
+    pilaf = data.series_by_label("Pilaf-em-OPT (PUT)")
+    farm = data.series_by_label("FaRM-em (PUT)")
+
+    # Paper: one HERD core delivers ~6.3 Mops; 5 cores deliver >=95%
+    # of peak (we check against the 6-core point).
+    assert 4.5 < herd.y_for(1) < 8.0
+    assert herd.y_for(5) > 0.95 * herd.y_for(6)
+
+    # Provisioning the baselines for 100% PUTs takes real CPU: at one
+    # core they are far from peak, and Pilaf (which must post RECVs)
+    # needs more cores than FaRM (which polls a request region).
+    assert pilaf.y_for(1) < 0.5 * pilaf.y_for(6)
+    assert farm.y_for(1) < 0.5 * farm.y_for(6)
+    assert pilaf.y_for(3) < farm.y_for(3)
+
+    # Throughput is non-decreasing in cores for every system.
+    for series in (herd, pilaf, farm):
+        values = [y for _x, y in series.points]
+        assert all(b >= a - 1.0 for a, b in zip(values, values[1:])), series.label

@@ -1,0 +1,31 @@
+"""Figure 14: per-core throughput under skewed and uniform workloads."""
+
+from repro.bench.figures import fig14
+from repro.bench.report import format_figure
+
+
+def test_fig14_skew_resistance(benchmark, emit):
+    data = benchmark.pedantic(fig14, kwargs={"scale": "bench"}, rounds=1, iterations=1)
+    emit("fig14", format_figure(data))
+
+    zipf = data.series_by_label("Zipf (.99)")
+    uniform = data.series_by_label("Uniform")
+
+    zipf_vals = [y for _x, y in zipf.points]
+    uniform_vals = [y for _x, y in uniform.points]
+    assert len(zipf_vals) == 6  # six cores, six partitions
+
+    # Paper: under Zipf(.99) the most loaded core is only ~50% more
+    # loaded than the least, even though the hottest key is orders of
+    # magnitude more popular than average.  The exact spread is hash
+    # placement luck of the few hottest keys (ours computes to ~1.66
+    # over a 1M-key universe); the claim being reproduced is that it
+    # is nowhere near the 6x a naive hot-partition split would give.
+    assert max(zipf_vals) / min(zipf_vals) < 1.9
+
+    # Total throughput under skew stays close to the uniform total —
+    # "HERD adapts well to skew".
+    assert sum(zipf_vals) > 0.85 * sum(uniform_vals)
+
+    # The uniform workload is nearly perfectly balanced.
+    assert max(uniform_vals) / min(uniform_vals) < 1.15

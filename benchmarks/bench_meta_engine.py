@@ -1,0 +1,88 @@
+"""Meta-benchmarks: how fast is the simulator itself?
+
+Unlike the figure benchmarks (which measure *simulated* Mops), these
+measure wall-clock performance of the discrete-event kernel — the thing
+that makes 250 µs x 26 Mops experiments tractable in Python.  They use
+pytest-benchmark conventionally: timing real executions.
+"""
+
+from repro.hw import APT, Fabric, Machine
+from repro.sim import FifoServer, Simulator, Store
+from repro.verbs import RdmaDevice, Transport, WorkRequest, connect_pair
+
+
+def test_calendar_throughput(benchmark):
+    """Raw timeout scheduling + dispatch."""
+
+    def run():
+        sim = Simulator()
+        for i in range(20_000):
+            sim.timeout(float(i % 997))
+        sim.run_until_idle()
+        return sim.now
+
+    assert benchmark(run) > 0
+
+
+def test_fifo_server_throughput(benchmark):
+    """The hot path of every hardware station."""
+
+    def run():
+        sim = Simulator()
+        server = FifoServer(sim, "s")
+        for _ in range(20_000):
+            server.serve(28.5)
+        sim.run_until_idle()
+        return server.jobs
+
+    assert benchmark(run) == 20_000
+
+
+def test_store_handoff_throughput(benchmark):
+    """Producer/consumer handoff (CQs, request queues)."""
+
+    def run():
+        sim = Simulator()
+        store = Store(sim)
+        done = {"n": 0}
+
+        def consumer():
+            while done["n"] < 10_000:
+                yield store.get()
+                done["n"] += 1
+
+        def producer():
+            for i in range(10_000):
+                yield sim.timeout(1.0)
+                store.put(i)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run_until_idle()
+        return done["n"]
+
+    assert benchmark(run) == 10_000
+
+
+def test_end_to_end_verb_rate(benchmark):
+    """Simulated-op throughput of the full verbs datapath (wall time)."""
+
+    def run():
+        sim = Simulator()
+        fabric = Fabric(sim, APT)
+        server = RdmaDevice(Machine(sim, fabric, "server"))
+        client = RdmaDevice(Machine(sim, fabric, "client"))
+        mr = server.register_memory(4096)
+        _sqp, cqp = connect_pair(server, client, Transport.UC)
+        for _ in range(2_000):
+            client.post_send(
+                cqp,
+                WorkRequest.write(
+                    raddr=mr.addr, rkey=mr.rkey, payload=b"x" * 32,
+                    inline=True, signaled=False,
+                ),
+            )
+        sim.run_until_idle()
+        return server.writes_received
+
+    assert benchmark(run) == 2_000

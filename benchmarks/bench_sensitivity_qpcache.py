@@ -1,0 +1,68 @@
+"""Sensitivity analysis: the Figure 12 knee tracks NIC SRAM capacity.
+
+The model attributes HERD's ~260-client scalability limit to the RNIC's
+QP-context cache.  If that attribution is right, resizing the modelled
+cache must move the knee proportionally — a falsifiable check on the
+mechanism, not just the curve.
+"""
+
+from repro.bench.report import FigureData, Series, format_figure
+from repro.herd import HerdCluster, HerdConfig
+from repro.hw import APT
+from repro.workloads import Workload
+
+CLIENT_COUNTS = (100, 200, 300, 400)
+CACHE_SIZES = (140, 280, 560)  # half, stock, double
+
+
+def run_cell(cache_units: int, n_clients: int) -> float:
+    profile = APT.replace(qp_cache_units=cache_units)
+    cluster = HerdCluster(
+        HerdConfig(n_server_processes=6),
+        profile=profile,
+        n_client_machines=max(17, n_clients // 5),
+        seed=2,
+    )
+    cluster.add_clients(
+        n_clients, Workload(get_fraction=0.95, value_size=32, n_keys=1 << 12)
+    )
+    cluster.preload(range(1 << 12), 32)
+    return cluster.run(measure_ns=100_000.0).mops
+
+
+def build() -> FigureData:
+    series = [
+        Series(
+            "%d context units" % units,
+            [(n, run_cell(units, n)) for n in CLIENT_COUNTS],
+        )
+        for units in CACHE_SIZES
+    ]
+    return FigureData(
+        "sensitivity-qpcache",
+        "HERD client scaling vs modelled NIC QP-cache capacity",
+        "client processes",
+        "Mops",
+        series,
+    )
+
+
+def test_sensitivity_qpcache(benchmark, emit):
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("sensitivity_qpcache", format_figure(data))
+
+    half = data.series_by_label("140 context units")
+    stock = data.series_by_label("280 context units")
+    double = data.series_by_label("560 context units")
+
+    # A half-size cache knees before 200 clients; stock before 400;
+    # a double-size cache does not knee in this range at all.
+    assert half.y_for(200) < 0.85 * half.y_for(100)
+    assert stock.y_for(200) > 0.95 * stock.y_for(100)
+    assert stock.y_for(400) < 0.85 * stock.y_for(200)
+    assert double.y_for(400) > 0.9 * double.y_for(100)
+
+    # At every client count, more cache never hurts.
+    for n in CLIENT_COUNTS:
+        assert half.y_for(n) <= stock.y_for(n) + 1.0
+        assert stock.y_for(n) <= double.y_for(n) + 1.0

@@ -1,0 +1,17 @@
+"""Table 1: operations supported by each transport type."""
+
+from repro.bench.figures import table1
+from repro.verbs import Opcode, Transport, transport_supports
+
+
+def test_table1_transport_matrix(benchmark, emit):
+    text = benchmark(table1)
+    emit("table1", text)
+    # UC does not support READs, and UD does not support RDMA at all.
+    assert transport_supports(Transport.RC, Opcode.READ)
+    assert not transport_supports(Transport.UC, Opcode.READ)
+    assert not transport_supports(Transport.UD, Opcode.WRITE)
+    assert not transport_supports(Transport.UD, Opcode.READ)
+    for transport in Transport:
+        assert transport_supports(transport, Opcode.SEND)
+        assert transport_supports(transport, Opcode.RECV)

@@ -1,0 +1,28 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures at
+``bench`` scale, prints it, saves it under ``benchmarks/out/``, and
+asserts the paper's qualitative claims about it (who wins, by roughly
+what factor, where crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def emit():
+    """Print a rendered figure and persist it to benchmarks/out/."""
+
+    def _emit(exp_id: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / ("%s.txt" % exp_id)).write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

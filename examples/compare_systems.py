@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Compare HERD against the paper's baselines on one workload cell.
+
+Reproduces one column of Figure 9: 48-byte items, read-intensive,
+showing why single-RTT WRITE/SEND beats multi-READ designs.
+
+Run:  python examples/compare_systems.py [value_size] [get_fraction]
+"""
+
+import sys
+
+from repro.bench.figures import run_farm, run_herd, run_pilaf
+
+
+def main() -> None:
+    value_size = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    get_fraction = float(sys.argv[2]) if len(sys.argv) > 2 else 0.95
+
+    systems = [
+        ("HERD", lambda: run_herd(value_size=value_size, get_fraction=get_fraction)),
+        ("Pilaf-em-OPT", lambda: run_pilaf(value_size=value_size, get_fraction=get_fraction)),
+        ("FaRM-em", lambda: run_farm(value_size=value_size, get_fraction=get_fraction)),
+        ("FaRM-em-VAR", lambda: run_farm(
+            value_size=value_size, get_fraction=get_fraction, inline_values=False
+        )),
+    ]
+
+    print(
+        "%d-byte values, %.0f%% GET (16-byte keyhashes)"
+        % (value_size, get_fraction * 100)
+    )
+    print("%-14s %10s %12s" % ("system", "Mops", "mean lat us"))
+    rows = []
+    for name, runner in systems:
+        result = runner()
+        rows.append((name, result.mops, result.latency["mean_us"]))
+        print("%-14s %10.1f %12.1f" % rows[-1])
+
+    herd_mops = rows[0][1]
+    best_read_based = max(m for name, m, _l in rows[1:])
+    print(
+        "\nHERD / best READ-based design: %.2fx"
+        % (herd_mops / best_read_based)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: stand up a HERD cluster and serve a workload.
+
+Builds the paper's deployment in miniature — one server machine running
+six polling server processes, a handful of client processes WRITE-ing
+requests over UC and receiving UD SEND responses — then reports
+throughput and latency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.herd import HerdCluster, HerdConfig
+from repro.workloads import Workload
+
+
+def main() -> None:
+    config = HerdConfig(n_server_processes=6, window=4)
+    cluster = HerdCluster(config, seed=1)
+
+    # A read-intensive workload: 95% GET / 5% PUT, 16-byte keyhashes,
+    # 32-byte values (the paper's representative item size).
+    workload = Workload(get_fraction=0.95, value_size=32, n_keys=4096)
+    cluster.add_clients(51, workload)
+
+    # Warm the cache so GETs hit.
+    cluster.preload(range(4096), value_size=32)
+
+    result = cluster.run(warmup_ns=50_000, measure_ns=200_000)
+
+    print("HERD on simulated ConnectX-3 / 56 Gbps InfiniBand (Apt)")
+    print("  throughput : %6.1f Mops" % result.mops)
+    print("  latency    : mean %.1f us  (p5 %.1f / p95 %.1f)" % (
+        result.latency["mean_us"],
+        result.latency["p5_us"],
+        result.latency["p95_us"],
+    ))
+    print("  GET misses : %d" % int(result.extra["get_misses"]))
+    print("  per core   : %s Mops" % ", ".join(
+        "%.2f" % m for m in result.per_server_mops
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Program the verbs layer directly: the building blocks under HERD.
+
+Demonstrates the full verbs API on the simulated fabric — registering
+memory, connecting queue pairs, one-sided READ/WRITE, two-sided
+SEND/RECV over UD with a GRH, inlining, and selective signaling —
+and prints the latency of each step.
+
+Run:  python examples/raw_verbs.py
+"""
+
+from repro.hw import APT, Fabric, Machine
+from repro.sim import Simulator
+from repro.verbs import (
+    RdmaDevice,
+    RecvRequest,
+    Transport,
+    WorkRequest,
+    connect_pair,
+)
+
+
+def main() -> None:
+    sim = Simulator()
+    fabric = Fabric(sim, APT)
+    server = RdmaDevice(Machine(sim, fabric, "server"))
+    client = RdmaDevice(Machine(sim, fabric, "client"))
+
+    # --- one-sided WRITE then READ over RC --------------------------------
+    server_mr = server.register_memory(4096)
+    client_sink = client.register_memory(4096)
+    _server_qp, client_qp = connect_pair(server, client, Transport.RC)
+
+    log = []
+
+    def one_sided():
+        start = sim.now
+        write = WorkRequest.write(
+            raddr=server_mr.addr, rkey=server_mr.rkey,
+            payload=b"hello, remote memory", inline=True, signaled=True,
+        )
+        yield client.post_send(client_qp, write)
+        yield client_qp.send_cq.pop()
+        log.append(("inlined WRITE (signaled, RC)", sim.now - start))
+
+        start = sim.now
+        read = WorkRequest.read(
+            raddr=server_mr.addr, rkey=server_mr.rkey,
+            local=(client_sink, 0, 20),
+        )
+        yield client.post_send(client_qp, read)
+        yield client_qp.send_cq.pop()
+        log.append(("READ of those bytes back", sim.now - start))
+
+    sim.process(one_sided())
+    sim.run_until_idle()
+    assert client_sink.read(0, 20) == b"hello, remote memory"
+
+    # --- two-sided SEND/RECV over UD ---------------------------------------
+    server_ud = server.create_qp(Transport.UD)
+    client_ud = client.create_qp(Transport.UD)
+    inbox = server.register_memory(2048)
+    server.post_recv(server_ud, RecvRequest(wr_id=1, local=(inbox, 0, 2048)))
+
+    def datagram():
+        start = sim.now
+        send = WorkRequest.send(
+            payload=b"datagram!", inline=True, signaled=False,
+            ah=("server", server_ud.qpn),
+        )
+        yield client.post_send(client_ud, send)
+        cqe = yield server_ud.recv_cq.pop()
+        log.append(("UD SEND -> RECV completion", sim.now - start))
+        # UD receive buffers start with a 40-byte GRH.
+        payload = inbox.read(40, cqe.byte_len)
+        assert payload == b"datagram!"
+
+    sim.process(datagram())
+    sim.run_until_idle()
+
+    print("simulated ConnectX-3 on 56 Gbps InfiniBand (Apt profile)\n")
+    for label, ns in log:
+        print("  %-32s %7.2f us" % (label, ns / 1e3))
+    print("\nserver memory now holds: %r" % server_mr.read(0, 20))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""HERD, reproduced: RDMA key-value services on a simulated fabric.
+
+A from-scratch reproduction of "Using RDMA Efficiently for Key-Value
+Services" (Kalia, Kaminsky, Andersen — SIGCOMM 2014) on a calibrated
+discrete-event model of ConnectX-3 hardware.
+
+The packages, bottom-up:
+
+* :mod:`repro.sim` — discrete-event kernel
+* :mod:`repro.hw` — PCIe / RNIC / fabric / DRAM models (Table 2 profiles)
+* :mod:`repro.verbs` — the RDMA verbs API over the model (Table 1 rules)
+* :mod:`repro.kv` — MICA / cuckoo / hopscotch backends (real bytes)
+* :mod:`repro.herd` — the paper's system, plus the §5.5 SEND/SEND variant
+* :mod:`repro.baselines` — Pilaf-em, FaRM-em, ECHO servers, full systems
+* :mod:`repro.workloads` — uniform and Zipf(.99) operation streams
+* :mod:`repro.bench` — per-figure experiments and the herd-bench CLI
+* :mod:`repro.analysis` — closed-form bottleneck cross-validation
+
+Start at :class:`repro.herd.HerdCluster` or ``examples/quickstart.py``.
+"""
+
+from repro.herd import HerdCluster, HerdConfig
+from repro.hw import APT, SUSITNA, HardwareProfile
+from repro.workloads import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APT",
+    "SUSITNA",
+    "HardwareProfile",
+    "HerdCluster",
+    "HerdConfig",
+    "Workload",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Closed-form bottleneck analysis of the simulated hardware.
+
+For each experiment the discrete-event simulator answers "what
+throughput emerges?"; this package answers "what throughput *should*
+emerge?" by computing every serialised resource's per-operation demand
+and taking the reciprocal of the largest.  The test suite cross-checks
+the two — if the simulator's queueing behaviour ever drifts from the
+calibrated service times, the mismatch shows up here first.
+"""
+
+from repro.analysis.model import BottleneckModel
+
+__all__ = ["BottleneckModel"]

@@ -1,0 +1,5 @@
+"""Experiment harness: runners, figure definitions, report printing."""
+
+from repro.bench.result import RunResult, collect
+
+__all__ = ["RunResult", "collect"]

@@ -1,0 +1,100 @@
+"""Terminal charts for reproduced figures.
+
+Tables carry the numbers; these charts carry the *shapes* — which is
+what the reproduction is about.  Numeric-x figures render as line
+charts (x positions use the sample index, since the paper's sweeps are
+log-spaced); categorical-x figures render as grouped horizontal bars.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.report import FigureData
+
+#: plotting glyphs, one per series
+GLYPHS = "*o+x#@%&"
+
+
+def _is_numeric(fig: FigureData) -> bool:
+    return all(
+        isinstance(x, (int, float))
+        for series in fig.series
+        for x, _y in series.points
+    )
+
+
+def chart(fig: FigureData, width: int = 64, height: int = 16) -> str:
+    """Render the figure as a line chart or grouped bars."""
+    if _is_numeric(fig):
+        return _line_chart(fig, width, height)
+    return _bar_chart(fig, width)
+
+
+def _line_chart(fig: FigureData, width: int, height: int) -> str:
+    xs: List[float] = []
+    for series in fig.series:
+        for x, _y in series.points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    y_max = max(y for s in fig.series for _x, y in s.points)
+    if y_max <= 0:
+        y_max = 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(x: float) -> int:
+        return round(xs.index(x) / max(1, len(xs) - 1) * (width - 1))
+
+    def row_of(y: float) -> int:
+        return (height - 1) - round(y / y_max * (height - 1))
+
+    for index, series in enumerate(fig.series):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in series.points:
+            grid[row_of(y)][col_of(x)] = glyph
+
+    lines = ["%s — %s" % (fig.exp_id, fig.title)]
+    for r, row in enumerate(grid):
+        y_label = y_max * (height - 1 - r) / (height - 1)
+        lines.append("%8.1f |%s" % (y_label, "".join(row)))
+    lines.append(" " * 9 + "+" + "-" * width)
+    first, last = xs[0], xs[-1]
+    axis = "%-*s%s" % (width // 2, str(first), str(last))
+    lines.append(" " * 10 + axis)
+    lines.append(" " * 10 + "%s (%s)" % (fig.x_label, fig.y_label))
+    for index, series in enumerate(fig.series):
+        lines.append(
+            " " * 10 + "%s = %s" % (GLYPHS[index % len(GLYPHS)], series.label)
+        )
+    return "\n".join(lines)
+
+
+def _bar_chart(fig: FigureData, width: int) -> str:
+    y_max = max(y for s in fig.series for _x, y in s.points)
+    if y_max <= 0:
+        y_max = 1.0
+    label_width = max(
+        [len(str(s.label)) for s in fig.series]
+        + [len(str(x)) for s in fig.series for x, _ in s.points]
+    )
+    bar_width = max(8, width - label_width - 12)
+    xs: List[object] = []
+    for series in fig.series:
+        for x, _y in series.points:
+            if x not in xs:
+                xs.append(x)
+    lines = ["%s — %s" % (fig.exp_id, fig.title)]
+    for x in xs:
+        lines.append(str(x))
+        for series in fig.series:
+            try:
+                y = series.y_for(x)
+            except KeyError:
+                continue
+            bar = "#" * max(1, round(y / y_max * bar_width))
+            lines.append(
+                "  %-*s %s %.2f" % (label_width, series.label, bar, y)
+            )
+    lines.append("(%s)" % fig.y_label)
+    return "\n".join(lines)

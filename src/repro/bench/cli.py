@@ -1,0 +1,75 @@
+"""``herd-bench``: regenerate any of the paper's tables and figures.
+
+Examples::
+
+    herd-bench --list
+    herd-bench fig10
+    herd-bench fig5 fig6 --scale full
+    herd-bench all --scale bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import FIGURES, TABLES
+from repro.bench.report import format_figure
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="herd-bench",
+        description="Reproduce the tables and figures of "
+        "'Using RDMA Efficiently for Key-Value Services' (SIGCOMM 2014).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (fig2..fig14, table1, table2) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("bench", "full"),
+        default="bench",
+        help="sweep resolution: bench (fast) or full (paper resolution)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each figure as a terminal chart",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("tables:  " + "  ".join(sorted(TABLES)))
+        print("figures: " + "  ".join(sorted(FIGURES)))
+        return 0
+
+    wanted = args.experiments
+    if wanted == ["all"]:
+        wanted = sorted(TABLES) + sorted(FIGURES)
+
+    for exp in wanted:
+        started = time.time()
+        if exp in TABLES:
+            print(TABLES[exp]())
+        elif exp in FIGURES:
+            data = FIGURES[exp](scale=args.scale)
+            print(format_figure(data))
+            if args.chart:
+                from repro.bench.ascii_chart import chart
+
+                print()
+                print(chart(data))
+        else:
+            print("unknown experiment %r (try --list)" % exp, file=sys.stderr)
+            return 2
+        print("[%s took %.1f s]\n" % (exp, time.time() - started))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

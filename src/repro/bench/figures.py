@@ -1,0 +1,506 @@
+"""Experiment definitions: one function per table/figure in the paper.
+
+Every function returns a :class:`~repro.bench.report.FigureData` whose
+series mirror the lines/bars of the original figure.  ``scale``
+selects the sweep resolution: ``"bench"`` (fast, used by the pytest
+benchmarks) or ``"full"`` (paper-resolution, used by the CLI).
+
+The experiment-to-module index lives in DESIGN.md §3; measured-vs-paper
+numbers live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+from repro.baselines import (
+    EchoCluster,
+    EchoConfig,
+    FarmCluster,
+    FarmConfig,
+    PilafCluster,
+    PilafConfig,
+)
+from repro.bench.microbench import (
+    alltoall_throughput,
+    inbound_throughput,
+    outbound_throughput,
+    verb_latency,
+)
+from repro.bench.report import FigureData, Series, format_matrix
+from repro.bench.result import RunResult
+from repro.herd import HerdCluster, HerdConfig
+from repro.hw import APT, SUSITNA, HardwareProfile
+from repro.verbs import Opcode, Transport, transport_supports
+from repro.workloads import Workload
+
+KEY_BYTES = 16
+
+
+# ---------------------------------------------------------------------------
+# shared system runners
+# ---------------------------------------------------------------------------
+
+
+def run_herd(
+    profile: HardwareProfile = APT,
+    value_size: int = 32,
+    get_fraction: float = 0.95,
+    n_clients: int = 51,
+    n_server_processes: int = 6,
+    window: int = 4,
+    distribution: str = "uniform",
+    n_keys: int = 1 << 12,
+    measure_ns: float = 150_000.0,
+    seed: int = 0,
+    n_client_machines: int = 17,
+    prefetch: bool = True,
+    index_entries: int = 2 ** 16,
+    log_bytes: int = 1 << 22,
+) -> RunResult:
+    """One HERD measurement cell."""
+    config = HerdConfig(
+        n_server_processes=n_server_processes,
+        window=window,
+        prefetch=prefetch,
+        index_entries=index_entries,
+        log_bytes=log_bytes,
+    )
+    cluster = HerdCluster(
+        config, profile, n_client_machines=max(n_client_machines, 1), seed=seed
+    )
+    cluster.add_clients(
+        n_clients,
+        Workload(
+            get_fraction=get_fraction,
+            value_size=value_size,
+            n_keys=n_keys,
+            distribution=distribution,
+        ),
+    )
+    cluster.preload(range(min(n_keys, 1 << 20)), value_size)
+    return cluster.run(warmup_ns=50_000.0, measure_ns=measure_ns)
+
+
+def run_pilaf(
+    profile: HardwareProfile = APT,
+    value_size: int = 32,
+    get_fraction: float = 0.95,
+    n_clients: int = 51,
+    n_server_processes: int = 6,
+    measure_ns: float = 150_000.0,
+) -> RunResult:
+    return PilafCluster(
+        PilafConfig(value_bytes=value_size, n_server_processes=n_server_processes),
+        Workload(get_fraction=get_fraction, value_size=value_size),
+        profile=profile,
+        n_clients=n_clients,
+    ).run(measure_ns=measure_ns)
+
+
+def run_farm(
+    profile: HardwareProfile = APT,
+    value_size: int = 32,
+    get_fraction: float = 0.95,
+    inline_values: bool = True,
+    n_clients: int = 51,
+    n_server_processes: int = 6,
+    measure_ns: float = 150_000.0,
+) -> RunResult:
+    return FarmCluster(
+        FarmConfig(
+            value_bytes=value_size,
+            inline_values=inline_values,
+            n_server_processes=n_server_processes,
+        ),
+        Workload(get_fraction=get_fraction, value_size=value_size),
+        profile=profile,
+        n_clients=n_clients,
+    ).run(measure_ns=measure_ns)
+
+
+_SYSTEMS = {
+    "HERD": lambda **kw: run_herd(**kw),
+    "Pilaf-em-OPT": lambda **kw: run_pilaf(**kw),
+    "FaRM-em": lambda **kw: run_farm(inline_values=True, **kw),
+    "FaRM-em-VAR": lambda **kw: run_farm(inline_values=False, **kw),
+}
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def table1() -> str:
+    """Table 1: operations supported by each transport type."""
+    transports = [Transport.RC, Transport.UC, Transport.UD]
+    ops = [Opcode.SEND, Opcode.WRITE, Opcode.READ]
+    cells = [
+        [
+            "yes" if transport_supports(t, op) else "no"
+            for t in transports
+        ]
+        for op in ops
+    ]
+    rows = ["SEND/RECV", "WRITE", "READ"]
+    return format_matrix(
+        "table1 — Operations supported by each transport type",
+        rows,
+        [t.value for t in transports],
+        cells,
+    )
+
+
+def table2() -> str:
+    """Table 2: cluster configurations the experiments model."""
+    lines = ["table2 — Cluster configuration (modelled)"]
+    for p in (APT, SUSITNA):
+        lines.append(
+            "%-8s link=%.0f Gbps (%s)  PCIe %.2f B/ns  inline<=%d  RTTwire=%d ns"
+            % (
+                p.name,
+                p.link_bw * 8,
+                "RoCE" if p.roce else "InfiniBand",
+                p.pcie_bw,
+                p.max_inline,
+                p.wire_delay_ns * 2,
+            )
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figures 2-7: microbenchmarks
+# ---------------------------------------------------------------------------
+
+
+def fig2(scale: str = "bench") -> FigureData:
+    """Latency of verbs and ECHOs vs payload size."""
+    payloads = [4, 16, 32, 64, 128, 256, 512, 1024]
+    if scale == "bench":
+        payloads = [4, 32, 64, 128, 256, 1024]
+    series = []
+    inline_limit = APT.max_inline
+    for kind in ("WR-INLINE", "WRITE", "READ", "ECHO"):
+        pts = []
+        for size in payloads:
+            if kind in ("WR-INLINE", "ECHO") and size > inline_limit:
+                continue
+            pts.append((size, verb_latency(kind, size)))
+        series.append(Series(kind, pts))
+    echo = next(s for s in series if s.label == "ECHO")
+    series.append(Series("ECHO/2", [(x, y / 2.0) for x, y in echo.points]))
+    return FigureData(
+        "fig2", "Latency of verbs and ECHO operations", "payload (B)",
+        "latency (us)", series,
+        notes=["ECHO uses unsignaled inlined WRITEs; one-way ~ ECHO/2"],
+    )
+
+
+def fig3(scale: str = "bench") -> FigureData:
+    """Inbound throughput: WRITE (UC/RC) vs READ (RC)."""
+    payloads = [4, 32, 64, 128, 256, 512, 1024]
+    if scale == "bench":
+        payloads = [32, 128, 256, 1024]
+    variants = [
+        ("WRITE-UC", "WRITE", Transport.UC),
+        ("READ-RC", "READ", Transport.RC),
+        ("WRITE-RC", "WRITE", Transport.RC),
+    ]
+    series = [
+        Series(
+            label,
+            [(p, inbound_throughput(verb, transport, p)) for p in payloads],
+        )
+        for label, verb, transport in variants
+    ]
+    return FigureData(
+        "fig3", "Inbound verbs throughput", "payload (B)", "Mops", series
+    )
+
+
+def fig4(scale: str = "bench") -> FigureData:
+    """Outbound throughput: inlined WRITE/SEND vs READ vs DMA'd WRITE."""
+    payloads = [4, 16, 32, 60, 128, 192, 256]
+    if scale == "bench":
+        payloads = [16, 32, 60, 128, 256]
+    series = [
+        Series(
+            label, [(p, outbound_throughput(label, p)) for p in payloads]
+        )
+        for label in ("WR-INLINE", "SEND-UD", "WRITE-UC", "READ-RC")
+    ]
+    return FigureData(
+        "fig4", "Outbound verbs throughput", "payload (B)", "Mops", series,
+        notes=["WR-INLINE steps down at 64 B write-combining boundaries"],
+    )
+
+
+def fig5(scale: str = "bench") -> FigureData:
+    """ECHO throughput by verb pair and optimization level (32 B)."""
+    n_clients = 48 if scale != "bench" else 36
+    levels = ("basic", "+unreliable", "+unsignaled", "+inlined")
+    series = []
+    for name, preset in (
+        ("SEND/SEND", EchoConfig.send_send()),
+        ("WR/WR", EchoConfig.wr_wr()),
+        ("WR/SEND", EchoConfig.wr_send()),
+    ):
+        pts = []
+        for level in levels:
+            cluster = EchoCluster(
+                preset.at_optimization_level(level),
+                n_clients=n_clients,
+                n_client_machines=12,
+            )
+            pts.append((level, cluster.run().mops))
+        series.append(Series(name, pts))
+    return FigureData(
+        "fig5", "ECHO throughput, 32 B messages", "optimizations",
+        "Mops", series,
+        notes=["WR/SEND responses travel over UD (HERD's hybrid)"],
+    )
+
+
+def fig6(scale: str = "bench") -> FigureData:
+    """All-to-all scaling of UC WRITEs vs UD SENDs (32 B)."""
+    ns = [2, 4, 8, 12, 16] if scale != "bench" else [4, 8, 16]
+    series = [
+        Series(mode, [(n, alltoall_throughput(mode, n)) for n in ns])
+        for mode in ("in-write-uc", "out-write-uc", "out-send-ud")
+    ]
+    return FigureData(
+        "fig6", "All-to-all communication, 32 B", "client processes (=server processes)",
+        "Mops", series,
+        notes=["out-write-uc collapses once N^2 requester contexts thrash the NIC cache"],
+    )
+
+
+def fig7(scale: str = "bench") -> FigureData:
+    """Effect of prefetching on an echo server doing N memory accesses."""
+    cores = [1, 2, 3, 4, 5]
+    if scale == "bench":
+        cores = [1, 3, 5]
+    series = []
+    for accesses in (2, 8):
+        for prefetch in (False, True):
+            label = "N=%d, %s" % (accesses, "prefetch" if prefetch else "no prefetch")
+            pts = []
+            for n_cores in cores:
+                cluster = EchoCluster(
+                    EchoConfig.wr_send(
+                        memory_accesses=accesses,
+                        prefetch=prefetch,
+                        n_server_processes=n_cores,
+                        window=8,
+                    ),
+                    n_clients=48,
+                    n_client_machines=16,
+                )
+                pts.append((n_cores, cluster.run().mops))
+            series.append(Series(label, pts))
+    return FigureData(
+        "fig7", "Effect of prefetching on throughput", "CPU cores", "Mops", series
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-14: end-to-end evaluation
+# ---------------------------------------------------------------------------
+
+
+def fig9(scale: str = "bench") -> FigureData:
+    """End-to-end throughput, 48 B items, by PUT fraction and cluster."""
+    profiles = [APT] if scale == "bench" else [APT, SUSITNA]
+    mixes = [(0.95, "5% PUT"), (0.50, "50% PUT"), (0.0, "100% PUT")]
+    series = []
+    for profile in profiles:
+        for name, runner in _SYSTEMS.items():
+            label = name if profile is APT else "%s (%s)" % (name, profile.name)
+            pts = []
+            for get_fraction, mix_label in mixes:
+                result = runner(
+                    profile=profile, value_size=32, get_fraction=get_fraction
+                )
+                pts.append((mix_label, result.mops))
+            series.append(Series(label, pts))
+    return FigureData(
+        "fig9", "End-to-end throughput, 48 B items", "PUT fraction", "Mops", series
+    )
+
+
+def fig10(scale: str = "bench") -> FigureData:
+    """Throughput vs value size, read-intensive workload."""
+    sizes = [4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    profiles = [APT]
+    if scale == "bench":
+        sizes = [4, 16, 32, 64, 128, 256, 1024]
+    else:
+        profiles = [APT, SUSITNA]
+    series = []
+    for profile in profiles:
+        for name, runner in _SYSTEMS.items():
+            label = name if profile is APT else "%s (%s)" % (name, profile.name)
+            pts = []
+            for size in sizes:
+                # HERD's 1 KB request slots hold at most 1000 value
+                # bytes alongside the LEN + keyhash trailer.
+                run_size = min(size, 1000) if name == "HERD" else size
+                result = runner(profile=profile, value_size=run_size, get_fraction=0.95)
+                pts.append((size, result.mops))
+            series.append(Series(label, pts))
+    return FigureData(
+        "fig10", "Throughput vs value size (95% GET)", "value size (B)",
+        "Mops", series,
+        notes=["HERD switches to non-inlined responses at %d B on Apt" % APT.herd_inline_cutoff],
+    )
+
+
+def fig11(scale: str = "bench") -> FigureData:
+    """Latency vs throughput, 48 B items, read-intensive."""
+    client_counts = [2, 6, 12, 24, 36, 51]
+    if scale == "bench":
+        client_counts = [2, 12, 36, 51]
+    series = []
+    notes = []
+    for name, runner in _SYSTEMS.items():
+        tput = []
+        lat = []
+        last = None
+        for n in client_counts:
+            result = runner(value_size=32, get_fraction=0.95, n_clients=n)
+            tput.append((n, result.mops))
+            lat.append((n, result.latency["mean_us"]))
+            last = result
+        series.append(Series("%s Mops" % name, tput))
+        series.append(Series("%s lat_us" % name, lat))
+        # The paper's error bars: 5th and 95th percentile at peak load.
+        notes.append(
+            "%s at peak: p5 %.1f / p95 %.1f us"
+            % (name, last.latency["p5_us"], last.latency["p95_us"])
+        )
+    return FigureData(
+        "fig11", "Latency vs throughput (load via client count)",
+        "client processes", "Mops / us", series, notes=notes,
+    )
+
+
+def fig12(scale: str = "bench") -> FigureData:
+    """HERD throughput vs number of client processes, window 4 and 16."""
+    counts = [60, 140, 220, 260, 300, 380, 460]
+    if scale == "bench":
+        counts = [100, 260, 340, 460]
+    series = []
+    for window in (4, 16):
+        pts = []
+        for n in counts:
+            result = run_herd(
+                n_clients=n,
+                window=window,
+                n_client_machines=93,
+                measure_ns=120_000.0,
+                seed=window,
+            )
+            pts.append((n, result.mops))
+        series.append(Series("WS=%d" % window, pts))
+    return FigureData(
+        "fig12", "HERD scalability with client count (16 B keys, 32 B values)",
+        "client processes", "Mops", series,
+        notes=["decline past ~260 clients: responder QP contexts overflow NIC SRAM"],
+    )
+
+
+def fig13(scale: str = "bench") -> FigureData:
+    """Throughput vs server CPU cores: HERD vs baseline PUT handling."""
+    cores = [1, 2, 3, 4, 5, 6, 7]
+    if scale == "bench":
+        cores = [1, 3, 5, 6]
+    series = []
+    herd_pts = []
+    pilaf_pts = []
+    farm_pts = []
+    for n_cores in cores:
+        herd_pts.append(
+            (n_cores, run_herd(get_fraction=0.0, n_server_processes=n_cores).mops)
+        )
+        pilaf_pts.append(
+            (n_cores, run_pilaf(get_fraction=0.0, n_server_processes=n_cores).mops)
+        )
+        farm_pts.append(
+            (
+                n_cores,
+                run_farm(
+                    get_fraction=0.0, inline_values=True, n_server_processes=n_cores
+                ).mops,
+            )
+        )
+    series.append(Series("HERD", herd_pts))
+    series.append(Series("Pilaf-em-OPT (PUT)", pilaf_pts))
+    series.append(Series("FaRM-em (PUT)", farm_pts))
+    # Section 5.6's other half: client-side CPU per GET, which the
+    # READ-based designs pay instead of server cycles.
+    from repro.analysis import BottleneckModel
+
+    model = BottleneckModel()
+    notes = [
+        "client CPU per GET (ns): "
+        + ", ".join(
+            "%s %.0f" % (system, model.client_cpu_ns_per_op(system, get_fraction=1.0))
+            for system in ("HERD", "Pilaf", "FaRM", "FaRM-VAR")
+        )
+    ]
+    return FigureData(
+        "fig13", "Throughput vs server CPU cores (48 B items)", "CPU cores",
+        "Mops", series, notes=notes,
+    )
+
+
+def fig14(scale: str = "bench") -> FigureData:
+    """Per-core throughput under Zipf(.99) vs uniform workloads."""
+    n_keys = 1 << 20
+    series = []
+    for dist, label in (("zipfian", "Zipf (.99)"), ("uniform", "Uniform")):
+        result = run_herd(
+            get_fraction=0.95,
+            value_size=32,
+            distribution=dist,
+            n_keys=n_keys,
+            measure_ns=200_000.0,
+            index_entries=2 ** 18,
+            log_bytes=1 << 24,
+        )
+        pts = [
+            (core + 1, mops) for core, mops in enumerate(result.per_server_mops)
+        ]
+        series.append(Series(label, pts))
+    return FigureData(
+        "fig14", "Per-core throughput, skewed vs uniform", "core id",
+        "Mops", series,
+        notes=["scrambled Zipf keys spread hot items across EREW partitions"],
+    )
+
+
+#: every reproducible experiment, for the CLI
+FIGURES = {
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+}
+
+def fig1() -> str:
+    """Figure 1: verb timelines (delegates to the tracer module)."""
+    from repro.bench.trace import fig1 as trace_fig1
+
+    return trace_fig1()
+
+
+TABLES = {"table1": table1, "table2": table2, "fig1": fig1}

@@ -1,0 +1,79 @@
+"""Plain-text rendering of reproduced figures and tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One line/bar group of a figure."""
+
+    label: str
+    #: (x, y) pairs; x may be a number or a category string
+    points: List[Tuple[object, float]]
+
+    def y_for(self, x: object) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError("no point at x=%r in series %r" % (x, self.label))
+
+
+@dataclass
+class FigureData:
+    """A reproduced figure: everything needed to print and check it."""
+
+    exp_id: str          # e.g. "fig10"
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series]
+    notes: List[str] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError("no series %r in %s" % (label, self.exp_id))
+
+
+def format_figure(fig: FigureData, width: int = 10) -> str:
+    """Render a figure as an aligned text table (x rows, series columns)."""
+    xs: List[object] = []
+    for s in fig.series:
+        for x, _y in s.points:
+            if x not in xs:
+                xs.append(x)
+    lines = []
+    lines.append("%s — %s" % (fig.exp_id, fig.title))
+    header = ("%-14s" % fig.x_label) + "".join(
+        "%*s" % (max(width, len(s.label) + 2), s.label) for s in fig.series
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in xs:
+        row = "%-14s" % (x,)
+        for s in fig.series:
+            col_width = max(width, len(s.label) + 2)
+            try:
+                row += "%*.2f" % (col_width, s.y_for(x))
+            except KeyError:
+                row += "%*s" % (col_width, "-")
+        lines.append(row)
+    for note in fig.notes:
+        lines.append("note: %s" % note)
+    lines.append("(%s axis: %s)" % (fig.exp_id, fig.y_label))
+    return "\n".join(lines)
+
+
+def format_matrix(title: str, rows: Sequence[str], cols: Sequence[str], cells) -> str:
+    """Render a capability matrix (Table 1 style); cells[r][c] is str."""
+    lines = [title]
+    header = "%-12s" % "" + "".join("%8s" % c for c in cols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, row_name in enumerate(rows):
+        lines.append("%-12s" % row_name + "".join("%8s" % cells[i][j] for j in range(len(cols))))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Results shared by every experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim import LatencyRecorder, RateMeter
+
+
+@dataclass
+class RunResult:
+    """Throughput and latency measured over one simulation window."""
+
+    #: millions of operations per second over the measurement window
+    mops: float
+    #: operations completed inside the window
+    ops: int
+    #: latency summary in microseconds: mean/p5/p50/p95/p99
+    latency: Dict[str, float]
+    #: per-server-process Mops (Figure 14's per-core series)
+    per_server_mops: List[float] = field(default_factory=list)
+    #: free-form extra measurements (cache hit rates, noops, ...)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def collect(
+    meter: RateMeter,
+    latencies: LatencyRecorder,
+    window_ns: float,
+    per_server: List[RateMeter] = (),
+    **extra: float,
+) -> RunResult:
+    """Bundle meters into a :class:`RunResult`."""
+    return RunResult(
+        mops=meter.mops(),
+        ops=meter.count,
+        latency=latencies.summary(),
+        per_server_mops=[m.mops() for m in per_server],
+        extra=dict(extra),
+    )

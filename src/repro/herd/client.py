@@ -1,0 +1,286 @@
+"""A HERD client process (Sections 4.2-4.3).
+
+Each client process owns:
+
+* **one UC queue pair** connected to the server's initializer — all of
+  its requests, to every server process, travel over this QP, so the
+  server needs only NC connected QPs in total;
+* **NS UD queue pairs** (one per server process) sharing a single
+  receive CQ — before writing a request to server process *s*, the
+  client posts a RECV to its *s*-th UD QP for the response.
+
+The client keeps a window of W outstanding requests: it fills the
+window, then issues one new operation per response (closed loop).
+Requests are written to slot ``(s, c, sent_s mod W)``; because the
+global window is also W, a slot is never reused before the server has
+freed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from collections import deque
+
+from repro.sim import Event, Simulator
+from repro.verbs import (
+    CompletionQueue,
+    QueuePair,
+    RdmaDevice,
+    RecvRequest,
+    Transport,
+    WorkRequest,
+)
+from repro.workloads.ycsb import Operation, OpType, WorkloadStream
+from repro.herd.config import HerdConfig, partition_of
+from repro.herd.region import RequestRegion
+from repro.herd.wire import decode_response, encode_get, encode_put
+
+#: observer called as fn(op, latency_ns, success, now)
+ResponseHook = Callable[[Operation, float, bool, float], None]
+
+#: per-response receive buffer: GRH + the largest response
+_RECV_SLOT = 40 + 1024
+
+
+@dataclass
+class _Pending:
+    op: Operation
+    sent_at: float
+    window_slot: int
+    recv_offset: int
+    #: what the request WRITE carried, for application-level retries
+    payload: bytes = b""
+    raddr: int = 0
+    last_sent: float = 0.0
+
+
+class HerdClientProcess:
+    """One closed-loop client."""
+
+    def __init__(
+        self,
+        client_id: int,
+        device: RdmaDevice,
+        config: HerdConfig,
+        stream: WorkloadStream,
+    ) -> None:
+        self.client_id = client_id
+        self.device = device
+        self.sim: Simulator = device.sim
+        self.profile = device.profile
+        self.config = config
+        self.stream = stream
+        ns = config.n_server_processes
+        self.recv_cq = CompletionQueue(self.sim, "c%d.recv" % client_id)
+        #: s-th UD QP carries responses from server process s
+        self.ud_qps: List[QueuePair] = [
+            device.create_qp(Transport.UD, recv_cq=self.recv_cq) for _ in range(ns)
+        ]
+        self._server_of_qpn: Dict[int, int] = {
+            qp.qpn: s for s, qp in enumerate(self.ud_qps)
+        }
+        self.uc_qp: Optional[QueuePair] = None  # connected by the cluster
+        #: set instead of a connection when requests ride DC transport
+        self.dct_ah: Optional[Tuple[str, int]] = None
+        self.region: Optional[RequestRegion] = None
+        #: where the s-th server process's responses land, W slots each
+        self.recv_mr = device.register_memory(2 * config.window * ns * _RECV_SLOT)
+        self._staging = device.register_memory(2 * config.window * config.slot_bytes)
+        self._recv_token = 0
+        #: per-server issue sequence; responses from one server are FIFO
+        #: and at most W are outstanding, so sequence mod 2W can never
+        #: alias a live receive buffer
+        self._sent_to_server = [0] * ns
+        #: request-region slots not currently holding a pending request
+        #: (a slot may only be rewritten after its response arrived)
+        self._slot_free = [set(range(config.window)) for _ in range(ns)]
+        self._deferred_op: Optional[Operation] = None
+        #: per-server RECV buffer offsets in posting order (loss mode)
+        self._recv_order: List[Deque[int]] = [deque() for _ in range(ns)]
+        self._pending: List[Deque[_Pending]] = [deque() for _ in range(ns)]
+        self.outstanding = 0
+        self.response_hook: Optional[ResponseHook] = None
+        # counters
+        self.issued = 0
+        self.completed = 0
+        self.get_misses = 0
+        self.failures = 0
+        self.retries = 0
+        self.duplicate_responses = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.uc_qp is None or self.region is None:
+            raise RuntimeError("client not wired to a cluster")
+        self.sim.process(self.run(), name="herd-client-%d" % self.client_id)
+        if self.config.retry_timeout_ns is not None:
+            self.sim.process(
+                self._retry_watchdog(), name="herd-client-%d-retry" % self.client_id
+            )
+
+    def run(self) -> Generator[Event, None, None]:
+        for _ in range(self.config.window):
+            yield from self._issue_next()
+        while True:
+            cqe = yield self.recv_cq.pop()
+            yield self.sim.timeout(self.profile.cq_poll_ns)
+            self._absorb(cqe)
+            yield from self._issue_next()
+
+    # ------------------------------------------------------------------
+
+    def _issue_next(self) -> Generator[Event, None, None]:
+        if self._deferred_op is not None:
+            op, self._deferred_op = self._deferred_op, None
+        else:
+            op = self.stream.next_op()
+        server = partition_of(op.key, self.config.n_server_processes)
+        free = self._slot_free[server]
+        if not free:
+            # Every slot at this server still awaits a response (only
+            # possible under loss); hold the op until one frees up.
+            self._deferred_op = op
+            return
+        window_slot = min(free)
+        free.discard(window_slot)
+
+        # 1. Pre-post the RECV for the response (Section 4.3).
+        token = self._recv_token
+        self._recv_token += 1
+        seq = self._sent_to_server[server]
+        self._sent_to_server[server] = seq + 1
+        recv_offset = (seq % (2 * self.config.window)) * _RECV_SLOT * len(self.ud_qps)
+        recv_offset += server * _RECV_SLOT
+        yield from self.device.post_recv_timed(
+            self.ud_qps[server],
+            RecvRequest(wr_id=token, local=(self.recv_mr, recv_offset, _RECV_SLOT)),
+        )
+        self._recv_order[server].append(recv_offset)
+
+        # 2. WRITE the request into the server's request region.
+        payload = (
+            encode_get(op.key) if op.op is OpType.GET else encode_put(op.key, op.value)
+        )
+        slot_addr = self.region.slot_addr(server, self.client_id, window_slot)
+        raddr = slot_addr + self.config.slot_bytes - len(payload)
+        if len(payload) <= self.profile.max_inline:
+            wr = WorkRequest.write(
+                raddr=raddr, rkey=self.region.mr.rkey, payload=payload,
+                inline=True, signaled=False, ah=self.dct_ah,
+            )
+        else:
+            offset = (token % (2 * self.config.window)) * self.config.slot_bytes
+            self._staging.write(offset, payload)
+            yield self.sim.timeout(len(payload) / 16.0)  # staging memcpy
+            wr = WorkRequest.write(
+                raddr=raddr, rkey=self.region.mr.rkey,
+                local=(self._staging, offset, len(payload)), signaled=False,
+                ah=self.dct_ah,
+            )
+        yield from self.device.post_send_timed(self.uc_qp, wr)
+        self._pending[server].append(
+            _Pending(
+                op,
+                self.sim.now,
+                window_slot,
+                recv_offset,
+                payload=payload,
+                raddr=raddr,
+                last_sent=self.sim.now,
+            )
+        )
+        self.outstanding += 1
+        self.issued += 1
+
+    @staticmethod
+    def _take_by_slot(pending: Deque[_Pending], window_slot: int) -> Optional[_Pending]:
+        """Remove and return the pending record for ``window_slot``."""
+        for record in pending:
+            if record.window_slot == window_slot:
+                pending.remove(record)
+                return record
+        return None
+
+    def _retry_watchdog(self) -> Generator[Event, None, None]:
+        """Re-WRITE requests whose responses are overdue.
+
+        A lost request leaves its slot keyhash zeroed at the server
+        forever; a lost response leaves the client waiting with its
+        RECV still posted.  Re-writing the request repairs both: the
+        server (re-)executes and responds into the already-posted
+        RECV.  MICA PUTs are idempotent here (same key, same bytes).
+        """
+        timeout = self.config.retry_timeout_ns
+        while True:
+            yield self.sim.timeout(timeout / 2.0)
+            now = self.sim.now
+            # Collect first (posting yields, and completions may mutate
+            # the pending queues while we wait).
+            overdue = [
+                record
+                for queue in self._pending
+                for record in queue
+                if now - record.last_sent > timeout
+            ]
+            for record in overdue:
+                if not any(record in queue for queue in self._pending):
+                    continue  # completed while we were retransmitting
+                record.last_sent = self.sim.now
+                self.retries += 1
+                if len(record.payload) <= self.profile.max_inline:
+                    wr = WorkRequest.write(
+                        raddr=record.raddr, rkey=self.region.mr.rkey,
+                        payload=record.payload, inline=True, signaled=False,
+                        ah=self.dct_ah,
+                    )
+                else:
+                    self._staging.write(0, record.payload)
+                    wr = WorkRequest.write(
+                        raddr=record.raddr, rkey=self.region.mr.rkey,
+                        local=(self._staging, 0, len(record.payload)),
+                        signaled=False, ah=self.dct_ah,
+                    )
+                yield from self.device.post_send_timed(self.uc_qp, wr)
+
+    def _absorb(self, cqe) -> None:
+        server = self._server_of_qpn[cqe.qpn]
+        pending = self._pending[server]
+        if self.config.retry_timeout_ns is None:
+            # Lossless operation: per-server responses are FIFO, so the
+            # oldest pending record is the one being answered.
+            record = pending.popleft()
+            payload = self.recv_mr.read(record.recv_offset + 40, cqe.byte_len)
+        else:
+            # Loss mode: a dropped request makes per-server completions
+            # out of order, so responses carry a window-slot byte.  The
+            # data landed in the *oldest posted* RECV buffer (RECVs are
+            # consumed FIFO regardless of which request is answered).
+            offset = self._recv_order[server].popleft()
+            raw = self.recv_mr.read(offset + 40, cqe.byte_len)
+            slot, payload = raw[0], raw[1:]
+            record = self._take_by_slot(pending, slot)
+            if record is None:
+                # A duplicate response (retry raced the original).  Put
+                # a fresh RECV in place of the one this duplicate ate so
+                # the still-pending request it belonged to can complete.
+                self.duplicate_responses += 1
+                self.device.post_recv(
+                    self.ud_qps[server],
+                    RecvRequest(wr_id=0, local=(self.recv_mr, offset, _RECV_SLOT)),
+                )
+                self._recv_order[server].append(offset)
+                return
+        self.outstanding -= 1
+        self.completed += 1
+        self._slot_free[server].add(record.window_slot)
+        latency = self.sim.now - record.sent_at
+        success, value = decode_response(record.op.op, payload)
+        if record.op.op is OpType.GET and not success:
+            self.get_misses += 1
+        elif not success:
+            self.failures += 1
+        if self.response_hook is not None:
+            self.response_hook(record.op, latency, success, self.sim.now)

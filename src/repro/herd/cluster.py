@@ -1,0 +1,162 @@
+"""Wires a full HERD deployment onto a simulated fabric.
+
+Mirrors the paper's setup (Section 5.1): one server machine running NS
+server processes (each on its own core), client processes spread over a
+set of client machines, one UC QP per client process at the server (the
+initializer's connections), and NS UD QPs per client for responses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bench.result import RunResult, collect
+from repro.hw import APT, Fabric, HardwareProfile, Machine
+from repro.sim import LatencyRecorder, RateMeter, Simulator
+from repro.verbs import RdmaDevice, Transport
+from repro.workloads.ycsb import Workload, value_for
+from repro.herd.client import HerdClientProcess
+from repro.herd.config import HerdConfig, partition_of
+from repro.herd.region import RequestRegion
+from repro.herd.server import HerdServerProcess
+
+
+class HerdCluster:
+    """A complete HERD system on one simulated fabric."""
+
+    def __init__(
+        self,
+        config: Optional[HerdConfig] = None,
+        profile: HardwareProfile = APT,
+        n_client_machines: int = 17,
+        seed: int = 0,
+    ) -> None:
+        self.config = config if config is not None else HerdConfig()
+        self.profile = profile
+        self.seed = seed
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, profile)
+        self.server_device = RdmaDevice(
+            Machine(self.sim, self.fabric, "server", cache_seed=seed)
+        )
+        self.client_devices = [
+            RdmaDevice(Machine(self.sim, self.fabric, "cm%d" % i, cache_seed=seed + i + 1))
+            for i in range(n_client_machines)
+        ]
+        self.clients: List[HerdClientProcess] = []
+        self.servers: List[HerdServerProcess] = []
+        self.region: Optional[RequestRegion] = None
+        self._wired = False
+
+    # ------------------------------------------------------------------
+
+    def add_clients(self, n: int, workload: Workload) -> None:
+        """Create ``n`` client processes, round-robin over machines."""
+        if self._wired:
+            raise RuntimeError("cannot add clients after wiring")
+        for i in range(n):
+            cid = len(self.clients)
+            device = self.client_devices[cid % len(self.client_devices)]
+            stream = workload.stream(seed=self.seed * 1_000_003 + cid)
+            self.clients.append(
+                HerdClientProcess(cid, device, self.config, stream)
+            )
+
+    def wire(self) -> None:
+        """Create the request region, server processes, and all QPs."""
+        if self._wired:
+            return
+        if not self.clients:
+            raise RuntimeError("add clients before wiring")
+        nc = len(self.clients)
+        self.region = RequestRegion(self.sim, self.server_device, self.config, nc)
+        if self.config.request_transport == "DC":
+            # Dynamically Connected: every client addresses one shared
+            # DC target at the server, so the server NIC caches a
+            # single responder context however many clients exist.
+            dct = self.server_device.create_qp(Transport.DC)
+            for client in self.clients:
+                client_qp = client.device.create_qp(Transport.DC)
+                client.uc_qp = client_qp
+                client.dct_ah = ("server", dct.qpn)
+                client.region = self.region
+        else:
+            # The initializer's UC connections: one per client process.
+            for client in self.clients:
+                server_qp = self.server_device.create_qp(Transport.UC)
+                client_qp = client.device.create_qp(Transport.UC)
+                server_qp.connect(client.device.machine.name, client_qp.qpn)
+                client_qp.connect("server", server_qp.qpn)
+                client.uc_qp = client_qp
+                client.region = self.region
+        # Server processes, each with the response AH table.
+        for s in range(self.config.n_server_processes):
+            ahs = [
+                (client.device.machine.name, client.ud_qps[s].qpn)
+                for client in self.clients
+            ]
+            self.servers.append(
+                HerdServerProcess(s, self.server_device, self.region, self.config, ahs)
+            )
+        self._wired = True
+
+    # ------------------------------------------------------------------
+
+    def preload(self, items: range, value_size: int) -> None:
+        """Load items directly into the server partitions (offline warm
+        start, like running a load phase before the measurement)."""
+        from repro.workloads.ycsb import keyhash
+
+        if not self._wired:
+            self.wire()
+        ns = self.config.n_server_processes
+        for item in items:
+            kh = keyhash(item)
+            server = self.servers[partition_of(kh, ns)]
+            server.store.put(kh, value_for(item, value_size))
+
+    # ------------------------------------------------------------------
+
+    def run(self, warmup_ns: float = 50_000.0, measure_ns: float = 200_000.0) -> RunResult:
+        """Start every process and measure one window."""
+        if not self._wired:
+            self.wire()
+        window_end = warmup_ns + measure_ns
+        meter = RateMeter(warmup_ns, window_end)
+        latencies = LatencyRecorder(warmup_ns, window_end)
+        per_server = [RateMeter(warmup_ns, window_end) for _ in self.servers]
+
+        for client in self.clients:
+            def hook(op, latency, success, now, _m=meter, _l=latencies):
+                _m.record(now)
+                _l.record(now, latency)
+
+            client.response_hook = hook
+            client.start()
+        for server in self.servers:
+            def shook(client_id, op, now, _m=per_server[server.index]):
+                _m.record(now)
+
+            server.completion_hook = shook
+            server.start()
+
+        self.sim.run(until=window_end)
+        machine = self.server_device.machine
+        elapsed = self.sim.now
+        return collect(
+            meter,
+            latencies,
+            measure_ns,
+            per_server=per_server,
+            server_qp_cache_hit_rate=machine.qp_cache.hit_rate(),
+            # Where the server machine's time went: the paper's
+            # bottleneck narrative in one dict (Section 5.7: at peak,
+            # the PIO path saturates first).
+            util_nic_ingress=machine.nic_ingress.utilization(elapsed),
+            util_nic_egress=machine.nic_egress.utilization(elapsed),
+            util_pio=machine.pcie.pio.utilization(elapsed),
+            util_dma=machine.pcie.dma.utilization(elapsed),
+            noops=float(sum(s.noops_pushed for s in self.servers)),
+            get_misses=float(sum(c.get_misses for c in self.clients)),
+            retries=float(sum(c.retries for c in self.clients)),
+        )

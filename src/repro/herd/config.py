@@ -1,0 +1,69 @@
+"""HERD configuration and key partitioning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HerdConfig:
+    """Deployment parameters (defaults follow Section 5.1).
+
+    The request region is ``NS * NC * W`` KB; with the paper's NC = 200,
+    NS = 16, W = 2 that is ~6 MB and fits in the server's L3 cache.
+    """
+
+    #: NS: server processes, each pinned to one core with its own
+    #: MICA partition (EREW) and one UD QP for responses
+    n_server_processes: int = 6
+    #: W: per-client window — outstanding requests a client may have
+    #: at *each* server process (also the client's global window)
+    window: int = 4
+    #: request slot size; the largest key-value item is 1 KB
+    slot_bytes: int = 1024
+    #: MICA index entries per server process (the paper uses 64 Mi;
+    #: scaled down by default to keep simulations light)
+    index_entries: int = 2 ** 16
+    #: MICA circular log bytes per server process (paper: 4 GB)
+    log_bytes: int = 1 << 22
+    #: consecutive empty poll iterations before a no-op flushes the
+    #: request pipeline (Section 4.1.1)
+    noop_after_polls: int = 100
+    #: request pipeline depth = MICA's max random accesses per op
+    pipeline_depth: int = 2
+    #: enable the prefetch pipeline (Figure 7's ablation switch)
+    prefetch: bool = True
+    #: transport carrying request WRITEs: "UC" (the paper's design) or
+    #: "DC" (the Connect-IB Dynamically Connected extension the paper
+    #: expects to lift the ~260-client scalability limit, Section 5.5)
+    request_transport: str = "UC"
+    #: application-level retry timeout in ns, or None to disable.
+    #: UC/UD never retransmit (Section 2.2.3): HERD "sacrifices
+    #: transport-level retransmission ... at the cost of rare
+    #: application-level retries".  Set this well above the p99
+    #: latency — a premature retry desynchronises response matching.
+    retry_timeout_ns: float = None
+
+    def __post_init__(self) -> None:
+        if self.n_server_processes < 1:
+            raise ValueError("need at least one server process")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.slot_bytes < 32:
+            raise ValueError("slots must hold LEN + keyhash + some value")
+        if self.request_transport not in ("UC", "DC"):
+            raise ValueError("request transport must be UC or DC")
+
+    def region_bytes(self, n_clients: int) -> int:
+        """Size of the request region for ``n_clients`` client processes."""
+        return self.n_server_processes * n_clients * self.window * self.slot_bytes
+
+
+def partition_of(keyhash: bytes, n_partitions: int) -> int:
+    """Which server process owns ``keyhash`` (MICA-style EREW sharding).
+
+    Keyhashes are already uniform, so plain modulo arithmetic over the
+    first 8 bytes spreads keys evenly — this is HERD's analogue of
+    MICA's Flow Director steering (Section 4.1).
+    """
+    return int.from_bytes(keyhash[:8], "little") % n_partitions

@@ -1,0 +1,102 @@
+"""The request region: HERD's shared, polled request memory (Section 4.2).
+
+One contiguous registered region on the server machine, created by an
+initializer process and mapped by every server process (the paper uses
+``shmget``; here all server processes simply hold a reference).  It is
+divided into per-server-process chunks, subdivided into per-client
+chunks of W slots::
+
+    slot(s, c, w)  at  (s * NC * W + c * W + w) * slot_bytes
+
+Server process ``s``, having seen ``r`` requests from client ``c``,
+polls slot ``s*(W*NC) + c*W + (r mod W)`` — the formula from the paper.
+
+Polling is modelled with an arrival queue per server process: the
+verbs layer notifies the region when a WRITE's DMA lands, and the
+region routes the notification to the owning server process.  The
+*detection latency* and *CPU cost* of polling are still charged by the
+server loop; only the busy-wait spinning is elided from the event
+calendar.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.sim import Simulator, Store
+from repro.verbs import MemoryRegion, RdmaDevice
+from repro.herd.config import HerdConfig
+from repro.herd.wire import KEYHASH_BYTES, decode_request
+
+
+class RequestRegion:
+    """The server's request memory plus slot geometry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: RdmaDevice,
+        config: HerdConfig,
+        n_clients: int,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.n_clients = n_clients
+        self.mr: MemoryRegion = device.register_memory(config.region_bytes(n_clients))
+        self.mr.on_write = self._on_write
+        #: per-server-process arrival queues of (client, window slot)
+        self.arrivals: List[Store] = [
+            Store(sim) for _ in range(config.n_server_processes)
+        ]
+        self.requests_seen = 0
+
+    # -- geometry ---------------------------------------------------------
+
+    def slot_index(self, server: int, client: int, window_slot: int) -> int:
+        cfg = self.config
+        if not 0 <= server < cfg.n_server_processes:
+            raise IndexError("server %d out of range" % server)
+        if not 0 <= client < self.n_clients:
+            raise IndexError("client %d out of range" % client)
+        if not 0 <= window_slot < cfg.window:
+            raise IndexError("window slot %d out of range" % window_slot)
+        return server * (self.n_clients * cfg.window) + client * cfg.window + window_slot
+
+    def slot_offset(self, server: int, client: int, window_slot: int) -> int:
+        return self.slot_index(server, client, window_slot) * self.config.slot_bytes
+
+    def slot_addr(self, server: int, client: int, window_slot: int) -> int:
+        """The remote virtual address clients WRITE to."""
+        return self.mr.addr + self.slot_offset(server, client, window_slot)
+
+    def locate(self, offset: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`slot_offset` for an arbitrary region offset."""
+        index = offset // self.config.slot_bytes
+        per_server = self.n_clients * self.config.window
+        server, rest = divmod(index, per_server)
+        client, window_slot = divmod(rest, self.config.window)
+        return server, client, window_slot
+
+    # -- server-side access -------------------------------------------------
+
+    def read_slot(self, server: int, client: int, window_slot: int):
+        """Decode the request in a slot (None if free)."""
+        offset = self.slot_offset(server, client, window_slot)
+        return decode_request(self.mr.read(offset, self.config.slot_bytes))
+
+    def clear_slot(self, server: int, client: int, window_slot: int) -> None:
+        """Zero the keyhash, freeing the slot for the client's next
+        request (the server does this after sending the response)."""
+        offset = (
+            self.slot_offset(server, client, window_slot)
+            + self.config.slot_bytes
+            - KEYHASH_BYTES
+        )
+        self.mr.write(offset, b"\x00" * KEYHASH_BYTES)
+
+    # -- polling support ------------------------------------------------------
+
+    def _on_write(self, offset: int, _length: int) -> None:
+        server, client, window_slot = self.locate(offset)
+        self.requests_seen += 1
+        self.arrivals[server].put((client, window_slot))

@@ -1,0 +1,183 @@
+"""A HERD server process: poll, execute, respond (Sections 4.1-4.3).
+
+Each server process is pinned to one core, owns one MICA partition
+(EREW — exclusive read and write), and uses exactly one UD queue pair
+for every response it sends.  Its loop:
+
+1. poll the per-client request chunks for a non-zero keyhash;
+2. issue a prefetch for the new request's index bucket, advance the
+   request pipeline, and push the new request in;
+3. execute the pipeline's completed request against MICA (its memory
+   accesses are cache-resident thanks to the prefetches);
+4. ``post_send()`` the response as an *unsignaled* SEND over UD —
+   new incoming requests double as completion notification for old
+   responses — inlined when the value is small, from a staging buffer
+   above the inline cutoff (144 B on Apt);
+5. zero the slot's keyhash so the client can reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Tuple
+
+from repro.kv.mica import MicaCache
+from repro.sim import Event, Simulator
+from repro.verbs import QueuePair, RdmaDevice, Transport, WorkRequest
+from repro.workloads.ycsb import Operation, OpType
+from repro.herd.config import HerdConfig
+from repro.herd.pipeline import RequestPipeline
+from repro.herd.region import RequestRegion
+from repro.herd.wire import encode_response
+
+#: a request travelling through the pipeline: (client, window slot, op)
+PipelineEntry = Tuple[int, int, Operation]
+
+#: observer called as fn(client_id, op, now) when a response is posted
+CompletionHook = Callable[[int, Operation, float], None]
+
+#: staging buffer for non-inlined responses
+_STAGING_BYTES = 1 << 16
+
+
+class HerdServerProcess:
+    """One polling server core."""
+
+    def __init__(
+        self,
+        index: int,
+        device: RdmaDevice,
+        region: RequestRegion,
+        config: HerdConfig,
+        client_ahs: List[Tuple[str, int]],
+    ) -> None:
+        self.index = index
+        self.device = device
+        self.sim: Simulator = device.sim
+        self.profile = device.profile
+        self.region = region
+        self.config = config
+        #: response address handles, indexed by client id
+        self.client_ahs = client_ahs
+        self.ud_qp: QueuePair = device.create_qp(Transport.UD)
+        self.store = MicaCache(config.index_entries, config.log_bytes)
+        self.pipeline: RequestPipeline[PipelineEntry] = RequestPipeline(
+            config.pipeline_depth
+        )
+        self._staging = device.register_memory(_STAGING_BYTES)
+        self._staging_cursor = 0
+        self.completion_hook: Optional[CompletionHook] = None
+        # counters
+        self.gets = 0
+        self.puts = 0
+        self.get_hits = 0
+        self.responses = 0
+        self.noops_pushed = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.sim.process(self.run(), name="herd-server-%d" % self.index)
+
+    def run(self) -> Generator[Event, None, None]:
+        """The polling loop."""
+        sim = self.sim
+        p = self.profile
+        cfg = self.config
+        arrivals = self.region.arrivals[self.index]
+        flush_spin_ns = cfg.noop_after_polls * p.poll_check_ns
+        while True:
+            item = arrivals.try_get()
+            if item is None and self.pipeline:
+                # Requests are stuck in the pipeline: spin for the
+                # paper's 100 poll iterations, then push a no-op.
+                yield sim.timeout(flush_spin_ns)
+                item = arrivals.try_get()
+                if item is None:
+                    self.noops_pushed += 1
+                    yield from self._complete(self.pipeline.push(None))
+                    continue
+            if item is None:
+                # Fully idle: block until a request lands, then charge
+                # the round-robin detection delay (half a polling pass).
+                item = yield arrivals.get()
+                yield sim.timeout(self._detect_delay_ns())
+            yield from self._serve(item)
+
+    def _detect_delay_ns(self) -> float:
+        slots = self.region.n_clients * self.config.window
+        return slots * self.profile.poll_check_ns / 2.0
+
+    # ------------------------------------------------------------------
+
+    def _serve(self, item: Tuple[int, int]) -> Generator[Event, None, None]:
+        sim = self.sim
+        p = self.profile
+        client, window_slot = item
+        # Cost of the poll iteration that found the slot + decode.
+        yield sim.timeout(4 * p.poll_check_ns)
+        op = self.region.read_slot(self.index, client, window_slot)
+        if op is None:
+            return  # spurious wakeup: slot already consumed
+        if self.config.prefetch:
+            # Issue the prefetch for this request's index bucket; it
+            # completes while we respond to the pipeline's oldest entry.
+            yield sim.timeout(1.0)
+        completed = self.pipeline.push((client, window_slot, op))
+        yield from self._complete(completed)
+
+    def _complete(
+        self, entry: Optional[PipelineEntry]
+    ) -> Generator[Event, None, None]:
+        if entry is None:
+            return
+        sim = self.sim
+        p = self.profile
+        client, window_slot, op = entry
+        # Execute against the MICA partition (real bytes), charging the
+        # memory time: prefetched accesses are cache hits.
+        if op.op is OpType.GET:
+            self.gets += 1
+            value = self.store.get(op.key)
+            if value is not None:
+                self.get_hits += 1
+        else:
+            self.puts += 1
+            self.store.put(op.key, op.value)
+            value = None
+        per_access = p.prefetch_hit_ns if self.config.prefetch else p.dram_ns
+        yield sim.timeout(self.store.last_op_accesses * per_access)
+        payload = encode_response(op.op, value)
+        if self.config.retry_timeout_ns is not None:
+            # Loss mode: completions can be reordered by retries, so the
+            # response identifies the window slot it answers.
+            payload = bytes([window_slot]) + payload
+        yield from self._respond(client, payload)
+        self.region.clear_slot(self.index, client, window_slot)
+        self.responses += 1
+        if self.completion_hook is not None:
+            self.completion_hook(client, op, sim.now)
+
+    def _respond(self, client: int, payload: bytes) -> Generator[Event, None, None]:
+        """SEND the response over UD, inlined below the cutoff."""
+        p = self.profile
+        ah = self.client_ahs[client]
+        if len(payload) <= p.herd_inline_cutoff:
+            wr = WorkRequest.send(payload=payload, inline=True, signaled=False, ah=ah)
+        else:
+            # Large values go out un-inlined: DMA beats PIO for large
+            # payloads (Figure 4b), so HERD switches at 144 B on Apt.
+            yield self.sim.timeout(len(payload) / 16.0)  # staging memcpy
+            offset = self._stage(payload)
+            wr = WorkRequest.send(
+                local=(self._staging, offset, len(payload)), signaled=False, ah=ah
+            )
+        yield from self.device.post_send_timed(self.ud_qp, wr)
+
+    def _stage(self, payload: bytes) -> int:
+        """Copy a response into the staging MR; returns its offset."""
+        if self._staging_cursor + len(payload) > _STAGING_BYTES:
+            self._staging_cursor = 0
+        offset = self._staging_cursor
+        self._staging.write(offset, payload)
+        self._staging_cursor += len(payload)
+        return offset

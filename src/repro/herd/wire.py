@@ -1,0 +1,98 @@
+"""HERD's request and response formats (Section 4.2).
+
+A request slot is 1 KB.  The RNIC's DMA writes are left-to-right, so
+the 16-byte keyhash sits in the *rightmost* bytes of the slot: when the
+polling server sees a non-zero keyhash, the rest of the request is
+already in place.  A zero keyhash marks a free slot, which is why
+clients may never use one.
+
+Slot layout (offsets relative to the slot end)::
+
+    [ ... unused ... | value (LEN bytes) | LEN: u16 | keyhash: 16 bytes ]
+
+A GET carries only LEN = GET_MARKER plus the keyhash (18 bytes on the
+wire); a PUT carries its value, LEN, and the keyhash.  The client
+WRITEs only the trailing portion of the slot.
+
+Responses need no header: a GET hit returns the raw value, a GET miss
+returns an empty message, and a PUT acknowledgement is one status byte
+(the client remembers which operation each pending token was).
+Keeping a 60-byte value's response WQE within two write-combining
+cachelines is what lets HERD sustain peak throughput through 60-byte
+items (Figure 10).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from repro.workloads.ycsb import Operation, OpType
+
+KEYHASH_BYTES = 16
+LEN_BYTES = 2
+TRAILER_BYTES = LEN_BYTES + KEYHASH_BYTES
+
+#: LEN value that marks a GET request (values are at most 1000 bytes,
+#: so this cannot collide with a real length)
+GET_MARKER = 0xFFFF
+
+_LEN = struct.Struct("<H")
+
+PUT_OK = b"\x01"
+
+
+def encode_get(keyhash: bytes) -> bytes:
+    """The trailing bytes a client WRITEs for a GET."""
+    _check_keyhash(keyhash)
+    return _LEN.pack(GET_MARKER) + keyhash
+
+
+def encode_put(keyhash: bytes, value: bytes) -> bytes:
+    """The trailing bytes a client WRITEs for a PUT."""
+    _check_keyhash(keyhash)
+    if len(value) > GET_MARKER - 1:
+        raise ValueError("value too large for the LEN field")
+    return value + _LEN.pack(len(value)) + keyhash
+
+
+def request_write_offset(slot_bytes: int, payload: bytes) -> int:
+    """Offset inside the slot where the trailing payload begins."""
+    return slot_bytes - len(payload)
+
+
+def decode_request(slot: bytes) -> Optional[Operation]:
+    """Decode a request slot; None if the slot is free (zero keyhash)."""
+    keyhash = slot[-KEYHASH_BYTES:]
+    if keyhash == b"\x00" * KEYHASH_BYTES:
+        return None
+    (length,) = _LEN.unpack(slot[-TRAILER_BYTES:-KEYHASH_BYTES])
+    if length == GET_MARKER:
+        return Operation(OpType.GET, keyhash, None)
+    start = len(slot) - TRAILER_BYTES - length
+    if start < 0:
+        raise ValueError("corrupt request: LEN overruns the slot")
+    return Operation(OpType.PUT, keyhash, slot[start : len(slot) - TRAILER_BYTES])
+
+
+def encode_response(op: OpType, value: Optional[bytes]) -> bytes:
+    """The SEND payload for a completed request."""
+    if op is OpType.GET:
+        return value if value is not None else b""
+    return PUT_OK
+
+
+def decode_response(op: OpType, payload: bytes) -> Tuple[bool, Optional[bytes]]:
+    """Client-side decode: (success, value)."""
+    if op is OpType.GET:
+        if payload:
+            return True, payload
+        return False, None  # miss
+    return payload == PUT_OK, None
+
+
+def _check_keyhash(keyhash: bytes) -> None:
+    if len(keyhash) != KEYHASH_BYTES:
+        raise ValueError("keyhash must be exactly 16 bytes")
+    if keyhash == b"\x00" * KEYHASH_BYTES:
+        raise ValueError("the zero keyhash is reserved for free slots")

@@ -1,0 +1,33 @@
+"""Hardware models: PCIe, RNIC engines, QP-context cache, fabric, DRAM.
+
+These models give *time* to the protocol logic in :mod:`repro.verbs`.
+Every serialised hardware unit is a :class:`repro.sim.FifoServer` whose
+deterministic service times are taken from a :class:`HardwareProfile`.
+Two profiles ship with the library, matching Table 2 of the paper:
+
+* :data:`APT` — Intel Xeon E5-2450 + ConnectX-3 MX354A, 56 Gbps
+  InfiniBand via PCIe 3.0 x8 (the Emulab Apt cluster).
+* :data:`SUSITNA` — AMD Opteron 6272 + ConnectX-3, 40 Gbps via PCIe 2.0
+  x8 (the NSF PRObE Susitna cluster; the RoCE configuration).
+
+The service-time constants are calibrated against the measurements the
+paper itself reports (Figures 2-6 and Section 3.2); see DESIGN.md §4.
+"""
+
+from repro.hw.link import Fabric
+from repro.hw.machine import Machine
+from repro.hw.memory import MemorySystem
+from repro.hw.params import APT, SUSITNA, HardwareProfile
+from repro.hw.pcie import PcieBus
+from repro.hw.qpcache import QpContextCache
+
+__all__ = [
+    "APT",
+    "SUSITNA",
+    "Fabric",
+    "HardwareProfile",
+    "Machine",
+    "MemorySystem",
+    "PcieBus",
+    "QpContextCache",
+]

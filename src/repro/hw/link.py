@@ -1,0 +1,106 @@
+"""The switched fabric connecting machines.
+
+InfiniBand/RoCE links are lossless (credit-based / priority flow
+control, Section 2.2.3), so the fabric never drops packets on its own.
+Each machine has one full-duplex port: a transmit-side
+:class:`~repro.sim.FifoServer` models serialisation onto the wire, and a
+fixed propagation + switch delay follows.  An optional bit-error rate
+supports the failure-injection experiments (bit errors are the paper's
+only loss source; affected messages are simply dropped and it is the
+application's job to retry).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim import FifoServer, Simulator
+from repro.hw.params import HardwareProfile
+
+#: A delivery callback: receives the packet object.
+DeliverFn = Callable[[Any], None]
+
+
+class Port:
+    """One machine's full-duplex fabric port."""
+
+    def __init__(self, sim: Simulator, profile: HardwareProfile, name: str) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.tx = FifoServer(sim, name + ".tx")
+        self.deliver: DeliverFn = _unattached
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+
+def _unattached(packet: Any) -> None:
+    raise RuntimeError("port has no delivery handler attached")
+
+
+class Fabric:
+    """A non-blocking crossbar switch between named machines.
+
+    The models in this repo run client counts into the hundreds; a real
+    cluster has per-link contention, but the paper's bottlenecks are all
+    at the *server's* NIC and PCIe bus, so a crossbar with per-port
+    serialisation captures the relevant contention (the server's own
+    port is shared by all of its traffic).
+    """
+
+    def __init__(self, sim: Simulator, profile: HardwareProfile, loss_seed: int = 1) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.ports: Dict[str, Port] = {}
+        #: probability that any one packet is corrupted on the wire
+        self.bit_error_rate = 0.0
+        #: optional fn(src, dst) -> loss rate, overriding the flat rate
+        #: (lets failure-injection tests target one direction)
+        self.loss_filter: Optional[Callable[[str, str], float]] = None
+        self._rng = random.Random(loss_seed)
+        self.dropped = 0
+
+    def attach(self, name: str, deliver: DeliverFn) -> Port:
+        """Register machine ``name`` and its packet-delivery handler."""
+        if name in self.ports:
+            raise ValueError("machine %r already attached" % name)
+        port = Port(self.sim, self.profile, name)
+        port.deliver = deliver
+        self.ports[name] = port
+        return port
+
+    def transmit(self, src: str, dst: str, packet: Any, wire_bytes: int) -> None:
+        """Send ``packet`` from ``src`` to ``dst``.
+
+        Serialisation happens on the source port; after the propagation
+        delay the packet is handed to the destination's handler.  The
+        source port must exist; a missing destination is a programming
+        error surfaced at delivery time.
+        """
+        port = self.ports[src]
+        port.tx_packets += 1
+        port.tx_bytes += wire_bytes
+        rate = (
+            self.loss_filter(src, dst)
+            if self.loss_filter is not None
+            else self.bit_error_rate
+        )
+        if rate and self._rng.random() < rate:
+            self.dropped += 1
+            return
+        tx_time = wire_bytes / self.profile.link_bw
+        dst_port = self.ports[dst]
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.span(
+                "wire %s->%s" % (src, dst),
+                self.sim.now,
+                self.sim.now + tx_time + self.profile.wire_delay_ns,
+                "%d bytes" % wire_bytes,
+            )
+        served = port.tx.serve(tx_time)
+        served.add_callback(
+            lambda _e: self.sim.call_in(
+                self.profile.wire_delay_ns, lambda: dst_port.deliver(packet)
+            )
+        )

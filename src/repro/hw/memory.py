@@ -1,0 +1,57 @@
+"""Host memory timing: DRAM accesses and software prefetching.
+
+Section 4.1.1: a random DRAM access costs 60-120 ns; HERD masks this by
+issuing a prefetch for a request's next address while ``post_send()``
+(150 ns) runs for a *different* request, so by the time the pipeline
+returns to a request its data is cache-resident.  This module provides
+the cost model; the pipeline logic itself lives in
+:mod:`repro.herd.pipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set
+
+from repro.hw.params import HardwareProfile
+
+
+class MemorySystem:
+    """Tracks outstanding prefetches and prices memory accesses."""
+
+    def __init__(self, profile: HardwareProfile) -> None:
+        self.profile = profile
+        self._prefetched: Set[Hashable] = set()
+        self.accesses = 0
+        self.prefetch_hits = 0
+
+    def prefetch(self, address: Hashable) -> float:
+        """Issue a software prefetch for ``address``.
+
+        Issuing costs (almost) nothing on the core — the latency is
+        hidden behind later work; we charge a nominal 1 ns issue cost.
+        """
+        self._prefetched.add(address)
+        return 1.0
+
+    def access(self, address: Hashable) -> float:
+        """Cost in ns of touching ``address`` now.
+
+        A previously prefetched address costs
+        :attr:`HardwareProfile.prefetch_hit_ns`; a cold one costs a full
+        :attr:`HardwareProfile.dram_ns`.  The prefetch entry is consumed
+        (caches are finite; we model single-use coverage).
+        """
+        self.accesses += 1
+        if address in self._prefetched:
+            self._prefetched.discard(address)
+            self.prefetch_hits += 1
+            return self.profile.prefetch_hit_ns
+        return self.profile.dram_ns
+
+    def random_access_ns(self, prefetched: bool) -> float:
+        """Price an anonymous access (for models without real addresses)."""
+        self.accesses += 1
+        if prefetched:
+            self.prefetch_hits += 1
+            return self.profile.prefetch_hit_ns
+        return self.profile.dram_ns

@@ -1,0 +1,77 @@
+"""The PCIe bus between a host CPU/DRAM and its RNIC.
+
+Three serialised paths are modelled, because the paper's results hinge
+on their asymmetry (Section 3.2.2):
+
+* **PIO** — the CPU writes WQEs into the NIC through write-combining
+  buffers.  Cost is per 64-byte cacheline, which produces the stepwise
+  throughput decline of inlined WRITEs at 64-byte payload intervals
+  (Figure 4b).
+* **DMA read** — *non-posted* transactions: the NIC must keep request
+  state until the completion returns, so these are expensive.  Fetching
+  a non-inlined payload costs several transactions (WQE fetch, address
+  translation, payload fetch).
+* **DMA write** — *posted* transactions: fire-and-forget, cheap.
+
+Each path separates *occupancy* (which limits throughput) from
+*pipeline latency* (which delays an individual transaction but is
+overlapped across transactions).
+"""
+
+from __future__ import annotations
+
+from repro.sim import Event, FifoServer, Simulator
+from repro.hw.params import HardwareProfile
+
+
+class PcieBus:
+    """One host's PCIe connection to its RNIC."""
+
+    def __init__(self, sim: Simulator, profile: HardwareProfile, name: str = "pcie") -> None:
+        self.sim = sim
+        self.profile = profile
+        self.pio = FifoServer(sim, name + ".pio")
+        #: one DMA engine serves reads and writes: completion-event DMA
+        #: writes steal capacity from payload DMA — the "extra overhead
+        #: on the RNIC's PCIe bus" of Section 2.2.2 that makes selective
+        #: signaling worth using
+        self.dma = FifoServer(sim, name + ".dma")
+
+    # -- PIO --------------------------------------------------------------
+
+    def pio_write(self, wqe_bytes: int) -> Event:
+        """Push one WQE (doorbell included) through write-combining PIO."""
+        return self.pio.serve(self.profile.pio_ns(wqe_bytes))
+
+    def doorbell(self) -> Event:
+        """Ring a bare doorbell (no WQE body), e.g. for batched RECVs."""
+        return self.pio.serve(self.profile.pio_base_ns)
+
+    # -- DMA --------------------------------------------------------------
+
+    def dma_read(self, payload_bytes: int, transactions: int = 1) -> Event:
+        """NIC-initiated read of host memory (non-posted).
+
+        ``transactions`` counts the round trips the engine must issue;
+        occupancy scales with transactions and payload, while the
+        pipeline latency is paid once.
+        """
+        p = self.profile
+        occupancy = p.dma_read_ns * transactions + payload_bytes / p.pcie_bw
+        done = self.sim.event()
+        served = self.dma.serve(occupancy)
+        served.add_callback(
+            lambda _e: self.sim.call_in(p.dma_read_latency_ns, done.succeed)
+        )
+        return done
+
+    def dma_write(self, payload_bytes: int) -> Event:
+        """NIC-initiated write into host memory (posted)."""
+        p = self.profile
+        occupancy = p.dma_write_ns + payload_bytes / p.pcie_bw
+        done = self.sim.event()
+        served = self.dma.serve(occupancy)
+        served.add_callback(
+            lambda _e: self.sim.call_in(p.dma_write_latency_ns, done.succeed)
+        )
+        return done

@@ -1,0 +1,24 @@
+"""Key-value backends.
+
+Three real data structures, one per system in the paper's evaluation:
+
+* :class:`MicaCache` — HERD's backend (Section 4.1): MICA's cache mode,
+  a lossy associative index over a circular log.  GETs cost at most two
+  random memory accesses, PUTs one.
+* :class:`CuckooTable` — Pilaf's backend (Section 5.1.1): 3-way,
+  1-slot-per-bucket cuckoo hashing with self-verifying (checksummed)
+  buckets and out-of-table value extents.
+* :class:`HopscotchTable` — FaRM-KV's backend (Section 5.1.2):
+  neighborhood-6 hopscotch hashing, with values inline in the table or
+  out-of-table behind pointers.
+
+All three store real bytes in flat buffers, so they can live inside a
+registered memory region and be traversed by remote RDMA READs.
+"""
+
+from repro.kv.cuckoo import CuckooTable
+from repro.kv.hopscotch import HopscotchTable
+from repro.kv.interface import KeyValueStore
+from repro.kv.mica import MicaCache
+
+__all__ = ["CuckooTable", "HopscotchTable", "KeyValueStore", "MicaCache"]

@@ -1,0 +1,31 @@
+"""Deterministic 64-bit mixing for hash-table placement.
+
+CRC32 is *linear* over GF(2), so two differently-salted CRCs of the same
+key differ by a constant — fatal for cuckoo hashing, whose K candidate
+buckets must be (close to) independent.  ``mix64`` is the splitmix64
+finalizer: cheap, deterministic across processes, and properly
+avalanching.
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer: avalanche all 64 bits of ``x``."""
+    x &= _MASK
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK
+    return x ^ (x >> 31)
+
+
+def hash_key(key: bytes, salt: int = 0) -> int:
+    """A salted 64-bit hash of ``key``; distinct salts are independent."""
+    h = mix64(salt * 0x9E3779B97F4A7C15)
+    # Mix each 64-bit chunk in (a plain XOR-fold would cancel repeated
+    # chunks, colliding keys like b"x"*64 and b"y"*64).
+    for offset in range(0, len(key), 8):
+        chunk = int.from_bytes(key[offset : offset + 8], "little")
+        h = mix64(h ^ chunk)
+    return h

@@ -1,0 +1,34 @@
+"""The common store interface and access-cost reporting.
+
+Backends report how many *random memory accesses* each operation
+performed — that is what the server CPU model charges time for (the
+paper's HERD numbers: at most 2 per GET, 1 per PUT with MICA).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+
+class KeyValueStore(abc.ABC):
+    """GET/PUT/DELETE over byte keys and byte values."""
+
+    #: number of random memory accesses performed by the last operation;
+    #: the CPU model reads this after each call.
+    last_op_accesses: int = 0
+
+    @abc.abstractmethod
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value for ``key``, or None if absent/evicted."""
+
+    @abc.abstractmethod
+    def put(self, key: bytes, value: bytes) -> bool:
+        """Insert or overwrite; False only if the store cannot admit it."""
+
+    @abc.abstractmethod
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; True if it was present."""
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None

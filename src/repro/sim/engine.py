@@ -1,0 +1,214 @@
+"""Event calendar, events, and generator-based processes.
+
+The simulator keeps a single binary heap of ``(time, sequence, event)``
+entries.  The sequence number makes execution order fully deterministic:
+two events scheduled for the same instant fire in the order they were
+scheduled.  Simulated time is a float number of nanoseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` marks it
+    triggered, records its value, and schedules its callbacks to run at
+    the current simulation time.  Events may be triggered at most once.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "triggered", "_scheduled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self.triggered = False
+        self._scheduled = False
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed` (``None`` until then)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering ``value`` to all waiters."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._schedule(0.0, self)
+        self._scheduled = True
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires.
+
+        If the event has already been dispatched, ``fn`` runs at the
+        current simulation time (never synchronously), preserving
+        deterministic ordering.
+        """
+        if self.callbacks is None:
+            # Already dispatched: run the callback via a fresh event so
+            # it still goes through the calendar.
+            proxy = Event(self.sim)
+            proxy.add_callback(lambda _e: fn(self))
+            proxy.succeed()
+        else:
+            self.callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError("negative delay: %r" % delay)
+        super().__init__(sim)
+        self.triggered = True
+        self._value = value
+        sim._schedule(delay, self)
+        self._scheduled = True
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    The wrapped generator ``yield``s :class:`Event` instances; the
+    process resumes when the yielded event fires, receiving the event's
+    value as the result of the ``yield`` expression.  A process is
+    itself an event that fires (with the generator's return value) when
+    the generator finishes.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Event, Any, Any],
+        name: str = "process",
+    ) -> None:
+        super().__init__(sim)
+        self._gen = gen
+        self.name = name
+        # Kick off the generator via the calendar so that construction
+        # order does not matter within a time step.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed()
+
+    def _resume(self, completed: Event) -> None:
+        try:
+            target = self._gen.send(completed.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                "%s yielded %r; processes must yield Event instances"
+                % (self.name, target)
+            )
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event calendar and simulated clock (nanoseconds)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, delay: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, gen: Generator[Event, Any, Any], name: str = "process"
+    ) -> Process:
+        """Register a generator as a running process."""
+        return Process(self, gen, name)
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run a plain callback ``delay`` ns from now."""
+        event = Timeout(self, delay)
+        event.add_callback(lambda _e: fn())
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        """Advance the clock, dispatching events, until time ``until``.
+
+        Events scheduled exactly at ``until`` do fire; the clock ends at
+        ``until`` even if the calendar drains early.
+        """
+        if until < self.now:
+            raise ValueError("cannot run backwards: until=%r < now=%r" % (until, self.now))
+        heap = self._heap
+        while heap and heap[0][0] <= until:
+            time, _seq, event = heapq.heappop(heap)
+            self.now = time
+            event._dispatch()
+        self.now = until
+
+    def run_until_idle(self, limit: float = float("inf")) -> None:
+        """Dispatch every pending event (bounded by ``limit``)."""
+        heap = self._heap
+        while heap and heap[0][0] <= limit:
+            time, _seq, event = heapq.heappop(heap)
+            self.now = time
+            event._dispatch()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when idle)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+
+def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that fires once every event in ``events`` has fired.
+
+    The combined event's value is the list of the individual values in
+    the order the events were given.
+    """
+    events = list(events)
+    combined = Event(sim)
+    remaining = [len(events)]
+    values: List[Any] = [None] * len(events)
+    if not events:
+        combined.succeed([])
+        return combined
+
+    def make_callback(index: int) -> Callable[[Event], None]:
+        def on_fire(event: Event) -> None:
+            values[index] = event.value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.succeed(values)
+
+        return on_fire
+
+    for index, event in enumerate(events):
+        event.add_callback(make_callback(index))
+    return combined

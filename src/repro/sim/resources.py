@@ -1,0 +1,157 @@
+"""Queueing resources used by the hardware models.
+
+``FifoServer`` is the workhorse: every serialised hardware unit in the
+RNIC/PCIe models (a processing engine, the PIO path of a PCIe bus, a DMA
+engine, a CPU core issuing posts) is a single FIFO queue with
+deterministic service times.  Because service is deterministic and FIFO,
+a server does not need to be simulated with per-customer processes: its
+state is just the time at which each of its ``capacity`` service slots
+next becomes free, so admitting one customer is O(log capacity) and adds
+a single calendar entry.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.engine import Event, Simulator
+
+
+class FifoServer:
+    """A FIFO queueing station with deterministic per-job service times.
+
+    ``serve(service)`` enqueues a job requiring ``service`` ns of work
+    and returns an :class:`Event` that fires when the job completes.
+    With ``capacity`` > 1 the station behaves like ``capacity`` parallel
+    servers fed from a single FIFO queue.
+    """
+
+    __slots__ = ("sim", "name", "capacity", "_free_at", "busy_time", "jobs")
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        # Min-heap of times at which each service slot becomes free.
+        self._free_at: List[float] = [0.0] * capacity
+        heapq.heapify(self._free_at)
+        self.busy_time = 0.0
+        self.jobs = 0
+
+    def serve(self, service: float, value: Any = None) -> Event:
+        """Enqueue a job; the returned event fires at completion."""
+        if service < 0:
+            raise ValueError("negative service time: %r" % service)
+        sim = self.sim
+        start = heapq.heappop(self._free_at)
+        if start < sim.now:
+            start = sim.now
+        done_at = start + service
+        heapq.heappush(self._free_at, done_at)
+        self.busy_time += service
+        self.jobs += 1
+        tracer = getattr(sim, "tracer", None)
+        if tracer is not None:
+            tracer.span(self.name, start, done_at)
+        event = Event(sim)
+        event.triggered = True
+        event._value = value
+        sim._schedule(done_at - sim.now, event)
+        return event
+
+    def delay_until_free(self) -> float:
+        """How long a job arriving now would wait before service."""
+        return max(0.0, self._free_at[0] - self.sim.now)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` ns this station spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.capacity)
+
+
+class Store:
+    """An unbounded FIFO mailbox.
+
+    ``put(item)`` never blocks.  ``get()`` returns an event that fires
+    with the oldest item, immediately if one is queued, otherwise when
+    the next ``put`` happens.  Used for completion queues, request
+    queues, and inter-process handoff.
+    """
+
+    __slots__ = ("sim", "_items", "_getters")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event firing with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Pop the next item without waiting, or ``None`` if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Resource:
+    """A classic counted resource with FIFO acquisition.
+
+    Unlike :class:`FifoServer`, the holder decides when to release, so
+    this suits critical sections whose length is not known up front.
+    """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        """An event firing when a unit is granted to the caller."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit, granting it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release without acquire")
+        if self._waiters:
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use

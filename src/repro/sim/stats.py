@@ -1,0 +1,84 @@
+"""Measurement helpers: latency percentiles and windowed rates.
+
+Experiments follow the paper's methodology: run with a warm-up period,
+then measure operations completed inside a window and report millions of
+operations per second (Mops) plus average / 5th / 95th percentile
+latency (Figure 11's error bars are the 5th and 95th percentiles).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class LatencyRecorder:
+    """Collects per-operation latencies (ns) inside a measurement window."""
+
+    def __init__(self, window_start: float = 0.0, window_end: float = float("inf")) -> None:
+        self.window_start = window_start
+        self.window_end = window_end
+        self.samples: List[float] = []
+
+    def record(self, completed_at: float, latency: float) -> None:
+        """Record ``latency`` if the op completed inside the window."""
+        if self.window_start <= completed_at <= self.window_end:
+            self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Average latency in ns (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return float(np.mean(self.samples))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile latency in ns (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(self.samples, q))
+
+    def summary(self) -> dict:
+        """Mean / p5 / p50 / p95 / p99 in microseconds."""
+        if not self.samples:
+            return {"mean_us": 0.0, "p5_us": 0.0, "p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
+        arr = np.asarray(self.samples)
+        return {
+            "mean_us": float(arr.mean()) / 1e3,
+            "p5_us": float(np.percentile(arr, 5)) / 1e3,
+            "p50_us": float(np.percentile(arr, 50)) / 1e3,
+            "p95_us": float(np.percentile(arr, 95)) / 1e3,
+            "p99_us": float(np.percentile(arr, 99)) / 1e3,
+        }
+
+
+class RateMeter:
+    """Counts operations completed inside ``[window_start, window_end]``."""
+
+    def __init__(self, window_start: float = 0.0, window_end: float = float("inf")) -> None:
+        self.window_start = window_start
+        self.window_end = window_end
+        self.count = 0
+        self.total = 0
+
+    def record(self, completed_at: float, n: int = 1) -> None:
+        """Count ``n`` completions at simulated time ``completed_at``."""
+        self.total += n
+        if self.window_start <= completed_at <= self.window_end:
+            self.count += n
+
+    def mops(self, window_end: Optional[float] = None) -> float:
+        """Millions of operations per second over the window.
+
+        ``window_end`` overrides the configured end when the experiment
+        stopped early (e.g. the simulator was run to a shorter horizon).
+        """
+        end = self.window_end if window_end is None else window_end
+        elapsed_ns = end - self.window_start
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.count / elapsed_ns * 1e3  # ops/ns -> Mops

@@ -1,0 +1,506 @@
+"""The RDMA device: the timed verbs datapath over one machine's RNIC.
+
+Egress (posting a verb, Section 2.2.2 and Figure 1):
+
+1. the CPU prepares the WQE (caller charges ``post_send_ns``) and rings
+   the doorbell — for ConnectX-3 the doorbell carries the whole WQE, so
+   the PIO cost is per write-combining cacheline of the WQE;
+2. the NIC's egress engine processes the WQE (touching the QP context
+   cache as the *requester*);
+3. a non-inlined payload is fetched over PCIe with non-posted DMA reads
+   (the bytes are snapshotted at fetch time — true zero-copy semantics);
+4. the packet is serialised onto the port and crosses the fabric.
+
+Ingress mirrors it: the engine processes the packet (touching the QP
+context as the *responder*), data lands in registered memory via posted
+DMA writes, completions are DMA-written to CQs, and RC generates ACKs.
+
+Unsignaled verbs skip the completion DMA entirely — that is the
+"selective signaling" optimisation the paper leans on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.hw.machine import Machine
+from repro.sim import Event
+from repro.sim.engine import all_of
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.mr import MemoryRegion, MrTable
+from repro.verbs.packets import Packet, PacketKind
+from repro.verbs.qp import QueuePair
+from repro.verbs.types import (
+    Cqe,
+    Opcode,
+    RecvRequest,
+    Transport,
+    VerbError,
+    WorkRequest,
+    transport_supports,
+)
+
+#: Optional observers the benchmarks attach: fn(packet) after the data
+#: has landed in host memory.
+Hook = Callable[[Packet], None]
+
+#: Retransmission timeout used only when the fabric injects bit errors.
+RC_RTO_NS = 100_000.0
+
+
+class RdmaDevice:
+    """Verbs endpoint for one machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.sim = machine.sim
+        self.profile = machine.profile
+        self.mr_table = MrTable()
+        self.qps: Dict[int, QueuePair] = {}
+        self._next_qpn = 1
+        machine.attach_packet_handler(self._on_packet)
+        # Observers (benchmarks): called when inbound data lands.
+        self.write_done_hook: Optional[Hook] = None
+        self.send_done_hook: Optional[Hook] = None
+        self.read_served_hook: Optional[Hook] = None
+        # Counters
+        self.writes_received = 0
+        self.sends_received = 0
+        self.reads_served = 0
+        self.acks_received = 0
+        self.retransmits = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def register_memory(self, length: int) -> MemoryRegion:
+        """Register (pin + map) a buffer of ``length`` bytes."""
+        return self.mr_table.register(length)
+
+    def create_qp(
+        self,
+        transport: Transport,
+        send_cq: Optional[CompletionQueue] = None,
+        recv_cq: Optional[CompletionQueue] = None,
+    ) -> QueuePair:
+        """Create a queue pair (fresh CQs by default)."""
+        qpn = self._next_qpn
+        self._next_qpn += 1
+        if send_cq is None:  # explicit: an empty CQ is falsy (len == 0)
+            send_cq = CompletionQueue(self.sim, "%s.qp%d.scq" % (self.machine.name, qpn))
+        if recv_cq is None:
+            recv_cq = CompletionQueue(self.sim, "%s.qp%d.rcq" % (self.machine.name, qpn))
+        qp = QueuePair(
+            self,
+            qpn,
+            transport,
+            send_cq,
+            recv_cq,
+            self.profile.max_outstanding_reads,
+        )
+        self.qps[qpn] = qp
+        return qp
+
+    # ------------------------------------------------------------------
+    # Posting
+    # ------------------------------------------------------------------
+
+    def post_send(self, qp: QueuePair, wr: WorkRequest) -> Event:
+        """Post a work request to the send queue.
+
+        The returned event fires when the WQE has been handed to the
+        NIC, i.e. when the CPU's PIO write of the WQE completes — the
+        poster stalls for this (it is the poster's store instructions),
+        so callers inside a simulated core should ``yield`` it.  The
+        rest of the datapath proceeds asynchronously.
+        """
+        self._validate_send(qp, wr)
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.mark(
+                "%s.cpu" % self.machine.name,
+                "post_send %s%s (%d B, %s, %s)"
+                % (
+                    wr.opcode.value,
+                    " inlined" if wr.inline else "",
+                    wr.length,
+                    qp.transport.value,
+                    "signaled" if wr.signaled else "unsignaled",
+                ),
+            )
+        if wr.opcode is Opcode.READ and not qp.take_read_credit():
+            # ConnectX-3 services at most 16 outstanding READs per QP;
+            # excess requests wait in the driver.
+            qp.pending_reads.append(wr)
+            return self.sim.timeout(0.0)
+        qp.sends_posted += 1
+        pio_done = self.machine.pcie.pio_write(self._wqe_bytes(qp, wr))
+        pio_done.add_callback(lambda _e: self._egress(qp, wr))
+        return pio_done
+
+    def post_send_timed(
+        self, qp: QueuePair, wr: WorkRequest
+    ) -> Generator[Event, None, None]:
+        """``post_send`` plus the 150 ns driver cost, for app loops.
+
+        Use as ``yield from device.post_send_timed(qp, wr)`` inside a
+        simulator process.
+        """
+        yield self.sim.timeout(self.profile.post_send_ns)
+        yield self.post_send(qp, wr)
+
+    def post_recv(self, qp: QueuePair, rr: RecvRequest) -> None:
+        """Pre-post a receive buffer (bookkeeping only).
+
+        The CPU cost (``post_recv_ns``) and the doorbell are charged by
+        :meth:`post_recv_timed`; benchmarks that batch RECV postings
+        charge them explicitly.
+        """
+        qp.recvs_posted += 1
+        qp.recv_queue.append(rr)
+
+    def post_recv_timed(
+        self, qp: QueuePair, rr: RecvRequest
+    ) -> Generator[Event, None, None]:
+        """``post_recv`` plus CPU cost and doorbell."""
+        self.post_recv(qp, rr)
+        yield self.sim.timeout(self.profile.post_recv_ns)
+        yield self.machine.pcie.doorbell()
+
+    # ------------------------------------------------------------------
+    # Egress datapath
+    # ------------------------------------------------------------------
+
+    def _validate_send(self, qp: QueuePair, wr: WorkRequest) -> None:
+        if wr.opcode is Opcode.RECV:
+            raise VerbError("RECV is posted to the receive queue (post_recv)")
+        if not transport_supports(qp.transport, wr.opcode):
+            raise VerbError(
+                "%s does not support %s (Table 1)"
+                % (qp.transport.value, wr.opcode.value)
+            )
+        if wr.inline and wr.length > self.profile.max_inline:
+            raise VerbError(
+                "inline payload %d exceeds max_inline %d"
+                % (wr.length, self.profile.max_inline)
+            )
+        if qp.transport is Transport.UD and wr.length > self.profile.mtu:
+            raise VerbError("UD messages are limited to one MTU")
+        if wr.opcode is Opcode.READ and wr.local is None:
+            raise VerbError("READ requires a local sink buffer")
+        if qp.transport.connected and qp.peer is None:
+            raise VerbError("queue pair is not connected")
+
+    def _wqe_bytes(self, qp: QueuePair, wr: WorkRequest) -> int:
+        """WQE size: what the CPU pushes through write-combining PIO."""
+        p = self.profile
+        size = p.wqe_ctrl_bytes
+        if wr.opcode in (Opcode.WRITE, Opcode.READ):
+            size += p.wqe_raddr_bytes
+        if qp.transport is Transport.UD:
+            size += p.wqe_av_bytes
+        if wr.inline:
+            size += p.wqe_inline_hdr_bytes + wr.length
+        else:
+            size += p.wqe_data_ptr_bytes
+        return size
+
+    def _egress(self, qp: QueuePair, wr: WorkRequest) -> None:
+        p = self.profile
+        hit = self.machine.qp_cache.access(("s", qp.qpn), requester=True)
+        service = p.nic_egress_read_ns if wr.opcode is Opcode.READ else p.nic_egress_ns
+        service += self.machine.qp_cache.miss_penalty_ns(hit, requester=True)
+        done = self.machine.nic_egress.serve(service)
+        if wr.opcode is not Opcode.READ and not wr.inline:
+            # Fetch the payload from host memory with non-posted DMA.
+            ready = self.sim.event()
+            done.add_callback(lambda _e: self._fetch(qp, wr, ready))
+        else:
+            ready = done
+        # A QP's WQEs reach the wire in post order: even though a DMA
+        # fetch delays this WQE, later (e.g. inlined) WQEs must not
+        # overtake it.  Chain each transmit behind its predecessor's.
+        predecessor = qp.send_gate
+        gate = self.sim.event()
+        qp.send_gate = gate
+
+        def fire(_e: Event) -> None:
+            self._transmit_wr(qp, wr)
+            gate.succeed()
+
+        if predecessor is None:
+            ready.add_callback(fire)
+        else:
+            all_of(self.sim, [ready, predecessor]).add_callback(fire)
+
+    def _fetch(self, qp: QueuePair, wr: WorkRequest, ready: Event) -> None:
+        transactions = self.profile.non_inline_fetch_transactions
+        if qp.transport is Transport.RC:
+            # Reliable transport retains WQE state for retransmission:
+            # one extra non-posted round trip per send (Section 3.2.2's
+            # "writes require less state maintenance ... at the PCIe
+            # level" argument, applied to RC vs UC).
+            transactions += 1
+        fetched = self.machine.pcie.dma_read(wr.length, transactions=transactions)
+        fetched.add_callback(lambda _e: ready.succeed())
+
+    def _transmit_wr(self, qp: QueuePair, wr: WorkRequest) -> None:
+        dst_machine, dst_qpn = qp.destination_for(wr)
+        if wr.inline or wr.opcode is Opcode.READ:
+            payload = wr.payload
+        else:
+            # Zero-copy: the bytes leave host memory at DMA-fetch time.
+            mr, offset, length = wr.local
+            payload = mr.read(offset, length)
+        kind = {
+            Opcode.WRITE: PacketKind.WRITE,
+            Opcode.SEND: PacketKind.SEND,
+            Opcode.READ: PacketKind.READ_REQ,
+        }[wr.opcode]
+        packet = Packet(
+            kind,
+            qp.transport,
+            self.machine.name,
+            qp.qpn,
+            dst_machine,
+            dst_qpn,
+            payload=payload,
+            raddr=wr.raddr,
+            rkey=wr.rkey,
+            length=wr.length,
+            wr=wr,
+        )
+        if qp.transport.reliable and kind is not PacketKind.READ_REQ:
+            # RC/DC track unacknowledged sends.  (For DC, FIFO matching
+            # of ACKs across targets is sound here because the fabric's
+            # propagation delay is uniform.)
+            qp.unacked.append(wr)
+        self._transmit(packet)
+        if not qp.transport.reliable and wr.signaled:
+            # UC/UD: local completion once the NIC has taken the message.
+            self._push_cqe(qp.send_cq, Cqe(wr.wr_id, wr.opcode, byte_len=wr.length))
+        if self.machine.fabric.bit_error_rate > 0 and qp.transport.reliable:
+            self._arm_retransmit(qp, packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        payload_len = packet.length if packet.kind is not PacketKind.READ_REQ else 16
+        if packet.kind is PacketKind.ACK:
+            payload_len = 0
+        ud = packet.transport is Transport.UD
+        wire = self._segmented_wire_bytes(payload_len, ud)
+        self.machine.transmit(packet.dst_machine, packet, wire)
+
+    def _segmented_wire_bytes(self, payload_len: int, ud: bool) -> int:
+        """Wire bytes including one header per MTU segment."""
+        p = self.profile
+        segments = max(1, -(-payload_len // p.mtu))
+        return payload_len + segments * (p.wire_bytes(0, ud=ud))
+
+    # ------------------------------------------------------------------
+    # RC retransmission (only armed under fault injection)
+    # ------------------------------------------------------------------
+
+    def _arm_retransmit(self, qp: QueuePair, packet: Packet) -> None:
+        wr = packet.wr
+        if wr is None:
+            return
+        # Mark the WR as outstanding; the ACK / READ_RESP clears it.
+        setattr(wr, "_acked", False)
+
+        def check() -> None:
+            if not getattr(wr, "_acked", True):
+                self.retransmits += 1
+                self._transmit(packet)
+                self.sim.call_in(RC_RTO_NS, check)
+
+        self.sim.call_in(RC_RTO_NS, check)
+
+    # ------------------------------------------------------------------
+    # Ingress datapath
+    # ------------------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        p = self.profile
+        cache = self.machine.qp_cache
+        requester = packet.kind not in (
+            PacketKind.WRITE, PacketKind.SEND, PacketKind.READ_REQ
+        )
+        role_key = ("s", packet.dst_qpn) if requester else ("r", packet.dst_qpn)
+        hit = cache.access(role_key, requester=requester)
+        service = {
+            PacketKind.WRITE: p.nic_ingress_write_ns,
+            PacketKind.SEND: p.nic_ingress_send_ns,
+            PacketKind.READ_REQ: p.nic_ingress_read_ns,
+            PacketKind.READ_RESP: p.nic_ingress_resp_ns,
+            PacketKind.ACK: p.nic_ingress_ack_ns,
+        }[packet.kind] + cache.miss_penalty_ns(hit, requester=requester)
+        done = self.machine.nic_ingress.serve(service)
+        handler = {
+            PacketKind.WRITE: self._handle_write,
+            PacketKind.SEND: self._handle_send,
+            PacketKind.READ_REQ: self._handle_read_req,
+            PacketKind.READ_RESP: self._handle_read_resp,
+            PacketKind.ACK: self._handle_ack,
+        }[packet.kind]
+        done.add_callback(lambda _e: handler(packet))
+
+    def _handle_write(self, packet: Packet) -> None:
+        mr = self.mr_table.resolve(packet.raddr, packet.rkey, packet.length)
+        offset = mr.offset_of(packet.raddr)
+        mr.write(offset, packet.payload)
+        landed = self.machine.pcie.dma_write(packet.length)
+
+        def on_landed(_e: Event) -> None:
+            self.writes_received += 1
+            notify = getattr(mr, "on_write", None)
+            if notify is not None:
+                notify(offset, packet.length)
+            if self.write_done_hook is not None:
+                self.write_done_hook(packet)
+
+        landed.add_callback(on_landed)
+        if packet.transport.reliable:
+            self._send_ack(packet)
+
+    def _handle_send(self, packet: Packet) -> None:
+        qp = self.qps.get(packet.dst_qpn)
+        if qp is None:
+            raise VerbError("SEND to unknown QP %d" % packet.dst_qpn)
+        if not qp.recv_queue:
+            # No pre-posted RECV: the message is dropped (we forgo RNR
+            # retries, as the paper's designs never let this happen).
+            qp.rnr_drops += 1
+            return
+        rr = qp.recv_queue.popleft()
+        mr, offset, capacity = rr.local
+        grh = self.profile.grh_bytes if qp.transport is Transport.UD else 0
+        if packet.length + grh > capacity:
+            raise VerbError(
+                "RECV buffer of %d bytes cannot hold %d-byte SEND"
+                % (capacity, packet.length + grh)
+            )
+        # UD receive buffers start with a 40-byte GRH.
+        mr.write(offset + grh, packet.payload)
+        landed = self.machine.pcie.dma_write(packet.length + grh)
+
+        def on_landed(_e: Event) -> None:
+            self.sends_received += 1
+            self._push_cqe(
+                qp.recv_cq,
+                Cqe(
+                    rr.wr_id,
+                    Opcode.RECV,
+                    byte_len=packet.length,
+                    src=(packet.src_machine, packet.src_qpn),
+                    qpn=qp.qpn,
+                ),
+            )
+            if self.send_done_hook is not None:
+                self.send_done_hook(packet)
+
+        landed.add_callback(on_landed)
+        if packet.transport.reliable:
+            self._send_ack(packet)
+
+    def _handle_read_req(self, packet: Packet) -> None:
+        mr = self.mr_table.resolve(packet.raddr, packet.rkey, packet.length)
+        offset = mr.offset_of(packet.raddr)
+        fetched = self.machine.pcie.dma_read(packet.length, transactions=1)
+
+        def on_fetched(_e: Event) -> None:
+            self.reads_served += 1
+            if self.read_served_hook is not None:
+                self.read_served_hook(packet)
+            data = mr.read(offset, packet.length)
+            response = Packet(
+                PacketKind.READ_RESP,
+                packet.transport,
+                self.machine.name,
+                packet.dst_qpn,
+                packet.src_machine,
+                packet.src_qpn,
+                payload=data,
+                length=packet.length,
+                wr=packet.wr,
+            )
+            served = self.machine.nic_egress.serve(self.profile.nic_egress_ns)
+            served.add_callback(lambda _e2: self._transmit(response))
+
+        fetched.add_callback(on_fetched)
+
+    def _handle_read_resp(self, packet: Packet) -> None:
+        qp = self.qps.get(packet.dst_qpn)
+        wr = packet.wr
+        if qp is None or wr is None:
+            raise VerbError("READ response for unknown QP/WR")
+        setattr(wr, "_acked", True)
+        mr, offset, _length = wr.local
+        mr.write(offset, packet.payload)
+        landed = self.machine.pcie.dma_write(packet.length)
+
+        def on_landed(_e: Event) -> None:
+            if wr.signaled:
+                self._push_cqe(qp.send_cq, Cqe(wr.wr_id, Opcode.READ, byte_len=packet.length))
+            queued = qp.return_read_credit()
+            if queued is not None:
+                self.post_send(qp, queued)
+
+        landed.add_callback(on_landed)
+
+    def _send_ack(self, packet: Packet) -> None:
+        ack = Packet(
+            PacketKind.ACK,
+            packet.transport,
+            self.machine.name,
+            packet.dst_qpn,
+            packet.src_machine,
+            packet.src_qpn,
+            wr=packet.wr,
+        )
+        served = self.machine.nic_egress.serve(self.profile.nic_ingress_ack_ns)
+        served.add_callback(lambda _e: self._transmit(ack))
+
+    def _handle_ack(self, packet: Packet) -> None:
+        self.acks_received += 1
+        qp = self.qps.get(packet.dst_qpn)
+        if qp is None or not qp.unacked:
+            return  # duplicate ACK after a retransmit; harmless
+        wr = qp.unacked.popleft()
+        setattr(wr, "_acked", True)
+        if wr.signaled:
+            self._push_cqe(qp.send_cq, Cqe(wr.wr_id, wr.opcode, byte_len=wr.length))
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+
+    def _push_cqe(self, cq: CompletionQueue, cqe: Cqe) -> None:
+        """DMA-write a CQE into host memory, then make it pollable."""
+        landed = self.machine.pcie.dma_write(32)
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            landed.add_callback(
+                lambda _e: tracer.mark(
+                    "%s.cpu" % self.machine.name,
+                    "completion (%s) pollable" % cqe.opcode.value,
+                )
+            )
+        landed.add_callback(lambda _e: cq.push(cqe))
+
+
+def connect_pair(
+    dev_a: RdmaDevice,
+    dev_b: RdmaDevice,
+    transport: Transport,
+) -> Tuple[QueuePair, QueuePair]:
+    """Create and bind a connected QP on each device (RC or UC)."""
+    if not transport.connected:
+        raise VerbError(
+            "%s queue pairs are not connected; create them directly" % transport.value
+        )
+    qp_a = dev_a.create_qp(transport)
+    qp_b = dev_b.create_qp(transport)
+    qp_a.connect(dev_b.machine.name, qp_b.qpn)
+    qp_b.connect(dev_a.machine.name, qp_a.qpn)
+    return qp_a, qp_b

@@ -1,0 +1,222 @@
+"""Verb, transport, and completion types, plus Table 1's capability matrix."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Transport(enum.Enum):
+    """RDMA transport types (Section 2.2.3).
+
+    DC (Dynamically Connected) is the Connect-IB extension the paper
+    points to as the future fix for connection scalability (Section
+    5.5): reliable, supports all verbs, yet addresses any remote DC
+    target per work request — so a server needs one DC target instead
+    of one connected QP per client.
+    """
+
+    RC = "RC"  # Reliable Connection: acknowledged, connected
+    UC = "UC"  # Unreliable Connection: connected, no ACK/NAK traffic
+    UD = "UD"  # Unreliable Datagram: unconnected, one-to-many
+    DC = "DC"  # Dynamically Connected: reliable, unconnected (Connect-IB)
+
+    @property
+    def connected(self) -> bool:
+        return self in (Transport.RC, Transport.UC)
+
+    @property
+    def reliable(self) -> bool:
+        return self in (Transport.RC, Transport.DC)
+
+
+class Opcode(enum.Enum):
+    """Verb opcodes relevant to this work (Section 2.2.2)."""
+
+    SEND = "SEND"
+    RECV = "RECV"
+    WRITE = "WRITE"
+    READ = "READ"
+
+    @property
+    def memory_semantics(self) -> bool:
+        """True for the one-sided RDMA verbs (READ and WRITE)."""
+        return self in (Opcode.WRITE, Opcode.READ)
+
+    @property
+    def channel_semantics(self) -> bool:
+        """True for the two-sided messaging verbs (SEND and RECV)."""
+        return self in (Opcode.SEND, Opcode.RECV)
+
+
+#: Table 1: operations supported by each transport type.  UC does not
+#: support READs, and UD does not support RDMA at all.  (DC is this
+#: library's Connect-IB extension, not part of the paper's Table 1.)
+TRANSPORT_CAPABILITIES = {
+    Transport.RC: frozenset({Opcode.SEND, Opcode.RECV, Opcode.WRITE, Opcode.READ}),
+    Transport.UC: frozenset({Opcode.SEND, Opcode.RECV, Opcode.WRITE}),
+    Transport.UD: frozenset({Opcode.SEND, Opcode.RECV}),
+    Transport.DC: frozenset({Opcode.SEND, Opcode.RECV, Opcode.WRITE, Opcode.READ}),
+}
+
+
+def transport_supports(transport: Transport, opcode: Opcode) -> bool:
+    """Whether ``transport`` can carry ``opcode`` (Table 1)."""
+    return opcode in TRANSPORT_CAPABILITIES[transport]
+
+
+class VerbError(Exception):
+    """An invalid verb posting (unsupported combination, bad sizes...)."""
+
+
+class CqeStatus(enum.Enum):
+    SUCCESS = "SUCCESS"
+    LOCAL_ERROR = "LOCAL_ERROR"
+    REMOTE_ACCESS_ERROR = "REMOTE_ACCESS_ERROR"
+
+
+@dataclass
+class Cqe:
+    """A completion queue entry."""
+
+    wr_id: int
+    opcode: Opcode
+    status: CqeStatus = CqeStatus.SUCCESS
+    byte_len: int = 0
+    #: for RECV completions: the sender's (machine, qpn) address
+    src: Optional[Tuple[str, int]] = None
+    #: the local QP this completion belongs to (ibv_wc.qp_num) —
+    #: needed when several QPs share one CQ
+    qpn: int = 0
+    #: simulated time the CQE was pushed to the CQ
+    timestamp: float = 0.0
+
+
+@dataclass
+class WorkRequest:
+    """A send-queue work request (WQE before it reaches the NIC).
+
+    Use the class-method constructors — they keep the combinations that
+    make sense on real hardware and reject the rest early.
+    """
+
+    opcode: Opcode
+    wr_id: int = 0
+    #: immediate payload bytes (inline) or None
+    payload: Optional[bytes] = None
+    #: local buffer (mr, offset, length) for non-inline sends / READ sink
+    local: Optional[Tuple[object, int, int]] = None
+    #: remote address + rkey for RDMA verbs
+    raddr: int = 0
+    rkey: int = 0
+    inline: bool = False
+    signaled: bool = True
+    #: UD address handle: (machine_name, qpn)
+    ah: Optional[Tuple[str, int]] = None
+    #: bookkeeping the application may attach (e.g. timestamps)
+    context: object = field(default=None, repr=False)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def write(
+        cls,
+        raddr: int,
+        rkey: int,
+        payload: Optional[bytes] = None,
+        local: Optional[Tuple[object, int, int]] = None,
+        inline: bool = False,
+        signaled: bool = True,
+        wr_id: int = 0,
+        ah: Optional[Tuple[str, int]] = None,
+        context: object = None,
+    ) -> "WorkRequest":
+        """An RDMA WRITE of ``payload`` (inline) or of ``local`` bytes.
+
+        ``ah`` addresses the remote DC target when the QP is
+        Dynamically Connected; connected transports must leave it None.
+        """
+        if inline and payload is None:
+            raise VerbError("inline WRITE requires an immediate payload")
+        if payload is None and local is None:
+            raise VerbError("WRITE requires payload or local buffer")
+        return cls(
+            Opcode.WRITE,
+            wr_id=wr_id,
+            payload=payload,
+            local=local,
+            raddr=raddr,
+            rkey=rkey,
+            inline=inline,
+            signaled=signaled,
+            ah=ah,
+            context=context,
+        )
+
+    @classmethod
+    def read(
+        cls,
+        raddr: int,
+        rkey: int,
+        local: Tuple[object, int, int],
+        signaled: bool = True,
+        wr_id: int = 0,
+        context: object = None,
+    ) -> "WorkRequest":
+        """An RDMA READ of ``local[2]`` bytes from the remote address."""
+        return cls(
+            Opcode.READ,
+            wr_id=wr_id,
+            local=local,
+            raddr=raddr,
+            rkey=rkey,
+            signaled=signaled,
+            context=context,
+        )
+
+    @classmethod
+    def send(
+        cls,
+        payload: Optional[bytes] = None,
+        local: Optional[Tuple[object, int, int]] = None,
+        inline: bool = False,
+        signaled: bool = True,
+        ah: Optional[Tuple[str, int]] = None,
+        wr_id: int = 0,
+        context: object = None,
+    ) -> "WorkRequest":
+        """A SEND message (requires a pre-posted RECV at the responder)."""
+        if inline and payload is None:
+            raise VerbError("inline SEND requires an immediate payload")
+        if payload is None and local is None:
+            raise VerbError("SEND requires payload or local buffer")
+        return cls(
+            Opcode.SEND,
+            wr_id=wr_id,
+            payload=payload,
+            local=local,
+            inline=inline,
+            signaled=signaled,
+            ah=ah,
+            context=context,
+        )
+
+    @property
+    def length(self) -> int:
+        """Payload length in bytes."""
+        if self.payload is not None:
+            return len(self.payload)
+        if self.local is not None:
+            return self.local[2]
+        return 0
+
+
+@dataclass
+class RecvRequest:
+    """A receive-queue work request: where an incoming SEND lands."""
+
+    wr_id: int
+    #: destination buffer (mr, offset, capacity)
+    local: Tuple[object, int, int]
+    context: object = field(default=None, repr=False)

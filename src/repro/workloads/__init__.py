@@ -1,0 +1,18 @@
+"""Workload generation (Section 5.2).
+
+The paper's workloads vary three parameters: the GET/PUT mix
+(read-intensive 95/5 vs write-intensive 50/50), the item size (16-byte
+keyhashes, values 4-1024 bytes), and skew (uniform vs Zipf with
+parameter 0.99, generated with YCSB's Zipfian generator).
+
+* :class:`ZipfianGenerator` — Gray et al.'s O(1) Zipfian sampler, the
+  same algorithm YCSB uses, with YCSB's hash-scrambling so the popular
+  items are spread across the keyhash space.
+* :class:`Workload` / :class:`WorkloadStream` — per-client operation
+  streams of (GET/PUT, keyhash, value) tuples.
+"""
+
+from repro.workloads.ycsb import Operation, OpType, Workload, WorkloadStream
+from repro.workloads.zipf import ZipfianGenerator
+
+__all__ = ["Operation", "OpType", "Workload", "WorkloadStream", "ZipfianGenerator"]

@@ -1,0 +1,138 @@
+"""Operation streams: GET/PUT mixes over uniform or Zipfian keys.
+
+The paper's configurations (Section 5.2):
+
+* read-intensive: 95% GET / 5% PUT;  write-intensive: 50% / 50%
+* keys are 16-byte keyhashes; a zero keyhash is *never* generated
+  because HERD uses a non-zero keyhash to detect new requests
+* uniform keys are drawn from the whole keyhash space; skewed keys are
+  Zipf(0.99) ranks over an ``n``-key universe, scrambled YCSB-style
+
+Each client process gets its own :class:`WorkloadStream` with a private
+seed — mirroring the paper's offline generation of 8M keys for each of
+the 51 client processes.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.kv.hashing import mix64
+from repro.workloads.zipf import ZipfianGenerator
+
+KEYHASH_BYTES = 16
+
+
+class OpType(enum.Enum):
+    GET = "GET"
+    PUT = "PUT"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One client operation."""
+
+    op: OpType
+    key: bytes          # 16-byte keyhash, never all-zero
+    value: Optional[bytes]  # None for GETs
+    #: the item id behind the keyhash, when known (lets tests verify
+    #: GET responses against the deterministic value function)
+    item: int = -1
+
+    @property
+    def is_get(self) -> bool:
+        return self.op is OpType.GET
+
+
+def keyhash(item: int) -> bytes:
+    """The 16-byte keyhash for item id ``item`` (never zero)."""
+    low = mix64(item)
+    high = mix64(item ^ 0xDEADBEEF) | 1  # guarantee non-zero
+    return low.to_bytes(8, "little") + high.to_bytes(8, "little")
+
+
+def value_for(item: int, size: int, version: int = 0) -> bytes:
+    """A deterministic value body: verifiable end to end."""
+    seed = mix64(item * 31 + version)
+    pattern = seed.to_bytes(8, "little")
+    reps = -(-size // 8)
+    return (pattern * reps)[:size]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A workload configuration (one experiment cell)."""
+
+    get_fraction: float = 0.95
+    value_size: int = 32
+    n_keys: int = 1 << 20
+    distribution: str = "uniform"   # "uniform" | "zipfian"
+    zipf_theta: float = 0.99
+
+    READ_INTENSIVE = 0.95
+    WRITE_INTENSIVE = 0.50
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.get_fraction <= 1.0:
+            raise ValueError("get_fraction must be within [0, 1]")
+        if self.distribution not in ("uniform", "zipfian"):
+            raise ValueError("unknown distribution %r" % self.distribution)
+        if self.value_size < 0 or self.value_size > 1024:
+            raise ValueError("values above 1 KB exceed every evaluated system")
+
+    def stream(self, seed: int) -> "WorkloadStream":
+        """A per-client operation stream (independent RNG)."""
+        return WorkloadStream(self, seed)
+
+    @classmethod
+    def ycsb(cls, letter: str, value_size: int = 32, n_keys: int = 1 << 20) -> "Workload":
+        """The standard YCSB core workloads the paper's generator comes
+        from: A (50/50, zipfian), B (95/5, zipfian), C (read-only,
+        zipfian).  The paper's own mixes are A and B over uniform and
+        zipfian keys."""
+        mixes = {"A": 0.50, "B": 0.95, "C": 1.00}
+        letter = letter.upper()
+        if letter not in mixes:
+            raise ValueError("supported YCSB workloads: A, B, C")
+        return cls(
+            get_fraction=mixes[letter],
+            value_size=value_size,
+            n_keys=n_keys,
+            distribution="zipfian",
+        )
+
+
+class WorkloadStream:
+    """An endless, deterministic stream of operations for one client."""
+
+    def __init__(self, workload: Workload, seed: int) -> None:
+        self.workload = workload
+        self._rng = random.Random(mix64(seed ^ 0xC0FFEE))
+        self._zipf: Optional[ZipfianGenerator] = None
+        if workload.distribution == "zipfian":
+            self._zipf = ZipfianGenerator(
+                workload.n_keys, theta=workload.zipf_theta, seed=seed, scrambled=True
+            )
+        self.generated = 0
+
+    def next_item(self) -> int:
+        if self._zipf is not None:
+            return self._zipf.next_item()
+        return self._rng.randrange(self.workload.n_keys)
+
+    def next_op(self) -> Operation:
+        """The next operation in this client's trace."""
+        self.generated += 1
+        item = self.next_item()
+        if self._rng.random() < self.workload.get_fraction:
+            return Operation(OpType.GET, keyhash(item), None, item=item)
+        return Operation(
+            OpType.PUT, keyhash(item), value_for(item, self.workload.value_size), item=item
+        )
+
+    def __iter__(self) -> Iterator[Operation]:
+        while True:
+            yield self.next_op()

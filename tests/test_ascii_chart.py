@@ -1,0 +1,74 @@
+"""Tests for the terminal chart renderer."""
+
+from repro.bench.ascii_chart import GLYPHS, chart
+from repro.bench.report import FigureData, Series
+
+
+def numeric_fig():
+    return FigureData(
+        "figN", "Numeric", "payload", "Mops",
+        [
+            Series("up", [(1, 1.0), (2, 2.0), (4, 4.0)]),
+            Series("down", [(1, 4.0), (2, 2.0), (4, 1.0)]),
+        ],
+    )
+
+
+def categorical_fig():
+    return FigureData(
+        "figC", "Categorical", "mix", "Mops",
+        [
+            Series("sysA", [("5% PUT", 10.0), ("50% PUT", 12.0)]),
+            Series("sysB", [("5% PUT", 5.0)]),
+        ],
+    )
+
+
+def test_numeric_figures_render_as_line_charts():
+    out = chart(numeric_fig())
+    assert "figN — Numeric" in out
+    assert "* = up" in out and "o = down" in out
+    # Axis runs from first to last x.
+    assert "1" in out and "4" in out
+    # The top row holds the max (4.0) and some glyph reaches it.
+    top_row = out.splitlines()[1]
+    assert top_row.strip().startswith("4.0")
+    assert any(g in top_row for g in GLYPHS)
+
+
+def test_line_chart_is_monotone_for_monotone_series():
+    out = chart(
+        FigureData("f", "t", "x", "y", [Series("s", [(1, 1.0), (2, 2.0), (3, 3.0)])])
+    )
+    rows = [line for line in out.splitlines() if "|" in line]
+    positions = []
+    for r, row in enumerate(rows):
+        body = row.split("|", 1)[1]
+        if "*" in body:
+            positions.append((r, body.index("*")))
+    # As the row index grows (y falls), the column must shrink.
+    assert positions == sorted(positions, key=lambda rc: -rc[1])
+
+
+def test_categorical_figures_render_as_bars():
+    out = chart(categorical_fig())
+    assert "5% PUT" in out and "50% PUT" in out
+    assert "#" in out
+    # Bars scale with value: sysA's 10.0 bar longer than sysB's 5.0.
+    lines = out.splitlines()
+    a_bar = next(l for l in lines if "sysA" in l and "10.00" in l)
+    b_bar = next(l for l in lines if "sysB" in l)
+    assert a_bar.count("#") > b_bar.count("#")
+
+
+def test_missing_points_are_skipped_in_bars():
+    out = chart(categorical_fig())
+    # sysB has no 50% PUT point: exactly one sysB row.
+    assert sum(1 for l in out.splitlines() if "sysB" in l) == 1
+
+
+def test_all_zero_series_do_not_crash():
+    out = chart(
+        FigureData("z", "zeros", "x", "y", [Series("s", [(1, 0.0), (2, 0.0)])])
+    )
+    assert "zeros" in out

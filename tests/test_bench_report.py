@@ -1,0 +1,100 @@
+"""Tests for figure rendering, the results plumbing, and the CLI."""
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+from repro.bench.figures import table1, table2
+from repro.bench.report import FigureData, Series, format_figure, format_matrix
+from repro.bench.result import collect
+from repro.sim import LatencyRecorder, RateMeter
+
+
+def sample_figure():
+    return FigureData(
+        "figX",
+        "Sample",
+        "payload (B)",
+        "Mops",
+        [
+            Series("A", [(4, 1.0), (8, 2.0)]),
+            Series("B", [(4, 3.0)]),
+        ],
+        notes=["hello"],
+    )
+
+
+def test_series_lookup():
+    fig = sample_figure()
+    assert fig.series_by_label("A").y_for(8) == 2.0
+    with pytest.raises(KeyError):
+        fig.series_by_label("missing")
+    with pytest.raises(KeyError):
+        fig.series_by_label("B").y_for(8)
+
+
+def test_format_figure_contains_all_points_and_gaps():
+    text = format_figure(sample_figure())
+    assert "figX — Sample" in text
+    assert "payload (B)" in text
+    assert "1.00" in text and "2.00" in text and "3.00" in text
+    # B has no point at x=8: rendered as '-'
+    lines = [l for l in text.splitlines() if l.startswith("8")]
+    assert lines and lines[0].rstrip().endswith("-")
+    assert "note: hello" in text
+
+
+def test_format_matrix():
+    text = format_matrix("T", ["r1"], ["c1", "c2"], [["yes", "no"]])
+    assert "T" in text and "yes" in text and "no" in text
+
+
+def test_table1_text():
+    text = table1()
+    assert "RC" in text and "UC" in text and "UD" in text
+    # Table 1's two headline facts.
+    read_row = next(l for l in text.splitlines() if l.startswith("READ"))
+    assert read_row.split() == ["READ", "yes", "no", "no"]
+    write_row = next(l for l in text.splitlines() if l.startswith("WRITE"))
+    assert write_row.split() == ["WRITE", "yes", "yes", "no"]
+
+
+def test_table2_text():
+    text = table2()
+    assert "apt" in text and "susitna" in text
+    assert "56" in text and "40" in text
+
+
+def test_collect_bundles_meters():
+    meter = RateMeter(0.0, 1e3)
+    lat = LatencyRecorder(0.0, 1e3)
+    meter.record(10.0)
+    lat.record(10.0, 2_000.0)
+    result = collect(meter, lat, 1e3, foo=1.5)
+    assert result.ops == 1
+    assert result.mops == pytest.approx(1.0)
+    assert result.latency["mean_us"] == pytest.approx(2.0)
+    assert result.extra["foo"] == 1.5
+
+
+def test_cli_list(capsys):
+    assert cli_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out and "table1" in out
+
+
+def test_cli_runs_tables(capsys):
+    assert cli_main(["table1", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Operations supported" in out
+    assert "Cluster configuration" in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert cli_main(["fig99"]) == 2
+
+
+def test_cli_renders_fig1_timelines(capsys):
+    assert cli_main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Steps involved in posting verbs" in out
+    assert "wire requester->responder" in out

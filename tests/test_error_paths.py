@@ -1,0 +1,126 @@
+"""Error paths and misuse handling across the stack."""
+
+import pytest
+
+from repro.herd import HerdCluster, HerdConfig
+from repro.hw import APT, Fabric, Machine
+from repro.sim import Simulator
+from repro.verbs import (
+    CompletionQueue,
+    RdmaDevice,
+    Transport,
+    VerbError,
+    WorkRequest,
+    connect_pair,
+)
+from repro.verbs.mr import MrAccessError
+from repro.workloads import Workload
+
+
+def make_pair():
+    sim = Simulator()
+    fabric = Fabric(sim, APT)
+    server = RdmaDevice(Machine(sim, fabric, "server"))
+    client = RdmaDevice(Machine(sim, fabric, "client"))
+    return sim, server, client
+
+
+# ---------------------------------------------------------------------------
+# verbs misuse
+# ---------------------------------------------------------------------------
+
+
+def test_write_with_bad_rkey_raises_remote_access_error():
+    sim, server, client = make_pair()
+    mr = server.register_memory(128)
+    _sqp, cqp = connect_pair(server, client, Transport.UC)
+    client.post_send(
+        cqp,
+        WorkRequest.write(raddr=mr.addr, rkey=mr.rkey + 7, payload=b"x", inline=True, signaled=False),
+    )
+    with pytest.raises(MrAccessError):
+        sim.run_until_idle()
+
+
+def test_write_past_region_end_raises():
+    sim, server, client = make_pair()
+    mr = server.register_memory(128)
+    _sqp, cqp = connect_pair(server, client, Transport.UC)
+    client.post_send(
+        cqp,
+        WorkRequest.write(
+            raddr=mr.addr + 120, rkey=mr.rkey, payload=b"x" * 16, inline=True, signaled=False
+        ),
+    )
+    with pytest.raises(MrAccessError):
+        sim.run_until_idle()
+
+
+def test_send_to_unknown_qpn_raises():
+    sim, server, client = make_pair()
+    qp = client.create_qp(Transport.UD)
+    client.post_send(
+        qp, WorkRequest.send(payload=b"x", inline=True, signaled=False, ah=("server", 999))
+    )
+    with pytest.raises(VerbError):
+        sim.run_until_idle()
+
+
+def test_cq_poll_and_try_pop():
+    sim, server, client = make_pair()
+    cq = CompletionQueue(sim, "t")
+    assert cq.try_pop() is None
+    assert cq.poll() == []
+    mr = server.register_memory(128)
+    _sqp, cqp = connect_pair(server, client, Transport.UC)
+    for i in range(3):
+        client.post_send(
+            cqp,
+            WorkRequest.write(
+                raddr=mr.addr, rkey=mr.rkey, payload=b"x", inline=True,
+                signaled=True, wr_id=i,
+            ),
+        )
+    sim.run_until_idle()
+    got = cqp.send_cq.poll(max_entries=2)
+    assert [c.wr_id for c in got] == [0, 1]
+    assert cqp.send_cq.try_pop().wr_id == 2
+
+
+# ---------------------------------------------------------------------------
+# cluster wiring misuse
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_requires_clients_before_wiring():
+    cluster = HerdCluster(HerdConfig(n_server_processes=1))
+    with pytest.raises(RuntimeError):
+        cluster.wire()
+
+
+def test_cluster_rejects_clients_after_wiring():
+    cluster = HerdCluster(HerdConfig(n_server_processes=1), n_client_machines=1)
+    cluster.add_clients(1, Workload(n_keys=64))
+    cluster.wire()
+    with pytest.raises(RuntimeError):
+        cluster.add_clients(1, Workload(n_keys=64))
+
+
+def test_client_cannot_start_unwired():
+    from repro.herd.client import HerdClientProcess
+
+    sim = Simulator()
+    fabric = Fabric(sim, APT)
+    device = RdmaDevice(Machine(sim, fabric, "c"))
+    client = HerdClientProcess(0, device, HerdConfig(n_server_processes=1), Workload(n_keys=64).stream(0))
+    with pytest.raises(RuntimeError):
+        client.start()
+
+
+def test_wire_is_idempotent():
+    cluster = HerdCluster(HerdConfig(n_server_processes=1), n_client_machines=1)
+    cluster.add_clients(1, Workload(n_keys=64))
+    cluster.wire()
+    n_qps = len(cluster.server_device.qps)
+    cluster.wire()
+    assert len(cluster.server_device.qps) == n_qps

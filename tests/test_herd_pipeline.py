@@ -1,0 +1,50 @@
+"""Tests for HERD's prefetch pipeline bookkeeping."""
+
+import pytest
+
+from repro.herd.pipeline import RequestPipeline
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        RequestPipeline(depth=0)
+
+
+def test_fills_before_completing():
+    p = RequestPipeline(depth=2)
+    assert p.push("a") is None      # stage 1
+    assert p.push("b") is None      # a -> stage 2, b -> stage 1
+    assert p.push("c") == "a"       # a completes
+    assert p.push("d") == "b"
+
+
+def test_completion_order_is_fifo():
+    p = RequestPipeline(depth=2)
+    out = [p.push(x) for x in "abcdef"]
+    assert out == [None, None, "a", "b", "c", "d"]
+
+
+def test_noop_flushes_held_requests():
+    """Section 4.1.1: no-ops unblock the pipeline when no new requests
+    arrive, avoiding the server/client window deadlock."""
+    p = RequestPipeline(depth=2)
+    p.push("a")
+    p.push("b")
+    assert p.push(None) == "a"
+    assert p.push(None) == "b"
+    assert p.push(None) is None
+    assert p.noops == 3
+    assert not p
+
+
+def test_depth_one_passes_through_with_lag_one():
+    p = RequestPipeline(depth=1)
+    assert p.push("a") is None
+    assert p.push("b") == "a"
+
+
+def test_len_and_bool():
+    p = RequestPipeline(depth=2)
+    assert len(p) == 0 and not p
+    p.push("a")
+    assert len(p) == 1 and p

@@ -1,0 +1,88 @@
+"""Tests for hardware profiles and geometry helpers (Table 2)."""
+
+import pytest
+
+from repro.hw import APT, SUSITNA, HardwareProfile
+
+
+def test_apt_matches_table2():
+    assert APT.name == "apt"
+    assert APT.link_bw == pytest.approx(7.0)   # 56 Gbps InfiniBand
+    assert not APT.roce
+    assert APT.pcie_bw > SUSITNA.pcie_bw       # PCIe 3.0 x8 vs 2.0 x8
+
+
+def test_susitna_matches_table2():
+    assert SUSITNA.name == "susitna"
+    assert SUSITNA.link_bw == pytest.approx(5.0)  # 40 Gbps
+    assert SUSITNA.roce
+
+
+def test_profiles_are_immutable():
+    with pytest.raises(Exception):
+        APT.link_bw = 1.0  # type: ignore[misc]
+
+
+def test_replace_overrides_one_field():
+    slow = APT.replace(link_bw=1.0)
+    assert slow.link_bw == 1.0
+    assert slow.wire_delay_ns == APT.wire_delay_ns
+    assert APT.link_bw == pytest.approx(7.0)  # original untouched
+
+
+def test_pio_cachelines_ceil():
+    assert APT.pio_cachelines(0) == 0
+    assert APT.pio_cachelines(1) == 1
+    assert APT.pio_cachelines(64) == 1
+    assert APT.pio_cachelines(65) == 2
+    assert APT.pio_cachelines(256) == 4
+
+
+def test_pio_cost_steps_at_cacheline_boundaries():
+    """The stepwise PIO cost is the mechanism behind Figure 4b's
+    64-byte-interval throughput drops."""
+    one_cl = APT.pio_ns(64)
+    two_cl = APT.pio_ns(65)
+    assert two_cl > one_cl
+    assert APT.pio_ns(128) == two_cl
+
+
+def test_small_wqe_pio_sustains_about_35_mops():
+    """~28 ns per 1-cacheline WQE -> ~35 Mops (Figure 4b peak)."""
+    rate_mops = 1e3 / APT.pio_ns(60)
+    assert 30.0 <= rate_mops <= 40.0
+
+
+def test_wire_bytes_accounting():
+    assert APT.wire_bytes(100) == 100 + APT.wire_header_bytes
+    ud = APT.wire_bytes(100, ud=True)
+    assert ud == 100 + APT.wire_header_bytes + APT.ud_header_bytes
+
+
+def test_roce_ud_carries_grh_on_wire():
+    ib = APT.wire_bytes(0, ud=True)
+    roce = SUSITNA.wire_bytes(0, ud=True)
+    assert roce - SUSITNA.wire_header_bytes - SUSITNA.ud_header_bytes == SUSITNA.grh_bytes
+    assert ib - APT.wire_header_bytes - APT.ud_header_bytes == 0
+
+
+def test_inline_limit_is_256_bytes():
+    """Section 2.2.2: max PIO-inlined payload is 256 bytes on ConnectX-3."""
+    assert APT.max_inline == 256
+    assert SUSITNA.max_inline == 256
+
+
+def test_max_outstanding_reads_is_16():
+    """Section 3.2.2: each QP services at most 16 outstanding READs."""
+    assert APT.max_outstanding_reads == 16
+
+
+def test_herd_inline_cutoffs_match_section_5_3():
+    """HERD switches to non-inlined SENDs at 144 B (Apt) / 192 B (Susitna)."""
+    assert APT.herd_inline_cutoff == 144
+    assert SUSITNA.herd_inline_cutoff == 192
+
+
+def test_custom_profile_validation_not_required_but_consistent():
+    p = HardwareProfile(name="toy", link_bw=1.25, wire_delay_ns=100.0)
+    assert p.pio_ns(64) == p.pio_base_ns + p.pio_per_cacheline_ns

@@ -1,0 +1,106 @@
+"""Tests for the PCIe bus model."""
+
+import pytest
+
+from repro.hw import APT
+from repro.hw.pcie import PcieBus
+from repro.sim import Simulator
+
+
+def make_bus():
+    sim = Simulator()
+    return sim, PcieBus(sim, APT)
+
+
+def test_pio_write_takes_per_cacheline_cost():
+    sim, bus = make_bus()
+    done = []
+    bus.pio_write(64).add_callback(lambda e: done.append(sim.now))
+    sim.run_until_idle()
+    assert done == [pytest.approx(APT.pio_ns(64))]
+
+
+def test_pio_writes_serialize():
+    """The PIO path is the shared bottleneck the paper identifies for
+    outbound inlined verbs; concurrent WQEs must queue."""
+    sim, bus = make_bus()
+    done = []
+    for _ in range(3):
+        bus.pio_write(64).add_callback(lambda e: done.append(sim.now))
+    sim.run_until_idle()
+    step = APT.pio_ns(64)
+    assert done == [pytest.approx(step * (i + 1)) for i in range(3)]
+
+
+def test_doorbell_cheaper_than_wqe():
+    sim, bus = make_bus()
+    done = []
+    bus.doorbell().add_callback(lambda e: done.append(sim.now))
+    sim.run_until_idle()
+    assert done == [pytest.approx(APT.pio_base_ns)]
+    assert done[0] < APT.pio_ns(64)
+
+
+def test_dma_read_latency_exceeds_occupancy():
+    """Non-posted reads pay a PCIe round trip of latency even though the
+    engine pipelines them at a much higher rate."""
+    sim, bus = make_bus()
+    done = []
+    bus.dma_read(64).add_callback(lambda e: done.append(sim.now))
+    sim.run_until_idle()
+    expected = APT.dma_read_ns + 64 / APT.pcie_bw + APT.dma_read_latency_ns
+    assert done == [pytest.approx(expected)]
+
+
+def test_dma_reads_pipeline():
+    """Back-to-back DMA reads overlap their latency: N transactions
+    finish in N*occupancy + 1*latency, not N*(occupancy+latency)."""
+    sim, bus = make_bus()
+    done = []
+    n = 10
+    for _ in range(n):
+        bus.dma_read(0).add_callback(lambda e: done.append(sim.now))
+    sim.run_until_idle()
+    assert done[-1] == pytest.approx(n * APT.dma_read_ns + APT.dma_read_latency_ns)
+
+
+def test_dma_read_multi_transaction_occupancy():
+    sim, bus = make_bus()
+    done = []
+    bus.dma_read(0, transactions=3).add_callback(lambda e: done.append(sim.now))
+    sim.run_until_idle()
+    assert done == [pytest.approx(3 * APT.dma_read_ns + APT.dma_read_latency_ns)]
+
+
+def test_dma_write_cheaper_than_dma_read():
+    """Posted beats non-posted (Section 3.2.2)."""
+    sim, bus = make_bus()
+    times = {}
+    bus.dma_write(64).add_callback(lambda e: times.setdefault("wr", sim.now))
+    sim.run_until_idle()
+    sim2 = Simulator()
+    bus2 = PcieBus(sim2, APT)
+    bus2.dma_read(64).add_callback(lambda e: times.setdefault("rd", sim2.now))
+    sim2.run_until_idle()
+    assert times["wr"] < times["rd"]
+
+
+def test_dma_bandwidth_term_scales_with_payload():
+    sim, bus = make_bus()
+    done = []
+    bus.dma_write(7880).add_callback(lambda e: done.append(sim.now))
+    sim.run_until_idle()
+    expected = APT.dma_write_ns + 7880 / APT.pcie_bw + APT.dma_write_latency_ns
+    assert done == [pytest.approx(expected)]
+
+
+def test_pio_and_dma_are_independent_paths():
+    """PIO and DMA engines do not serialise against each other."""
+    sim, bus = make_bus()
+    done = []
+    bus.pio_write(64).add_callback(lambda e: done.append(("pio", sim.now)))
+    bus.dma_write(0).add_callback(lambda e: done.append(("dma", sim.now)))
+    sim.run_until_idle()
+    times = dict(done)
+    assert times["pio"] == pytest.approx(APT.pio_ns(64))
+    assert times["dma"] == pytest.approx(APT.dma_write_ns + APT.dma_write_latency_ns)

@@ -1,0 +1,94 @@
+"""Tests for the QP-context cache: the connection-scalability mechanism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import APT, QpContextCache
+
+
+def test_first_access_is_a_miss_then_hits():
+    cache = QpContextCache(APT)
+    assert cache.access("qp1", requester=False) is False
+    assert cache.access("qp1", requester=False) is True
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_fits_within_capacity_no_evictions():
+    cache = QpContextCache(APT)
+    for i in range(APT.qp_cache_units):  # responder ctx = 1 unit each
+        cache.access(i, requester=False)
+    assert cache.evictions == 0
+    # Second pass: all hits.
+    for i in range(APT.qp_cache_units):
+        assert cache.access(i, requester=False) is True
+
+
+def test_requester_contexts_are_heavier():
+    """Requester state is larger (the paper's reason inbound scales but
+    outbound does not), so fewer requester contexts fit."""
+    cache = QpContextCache(APT)
+    n_fit = APT.qp_cache_units // APT.qp_requester_units
+    for i in range(n_fit):
+        cache.access(("req", i), requester=True)
+    assert cache.evictions == 0
+    cache.access(("req", n_fit), requester=True)
+    assert cache.evictions > 0
+
+
+def test_cyclic_overflow_degrades_gracefully():
+    """Random replacement gives a hit rate ~ capacity/working-set under
+    cyclic access, not LRU's 0% — matching Figure 12's linear decline."""
+    cache = QpContextCache(APT, seed=7)
+    working_set = APT.qp_cache_units * 2
+    for _round in range(20):
+        for i in range(working_set):
+            cache.access(i, requester=False)
+    rate = cache.hit_rate()
+    # Steady state for cyclic access at 2x capacity is the fixed point of
+    # h = exp(-2(1-h)) ~= 0.20; crucially it is neither ~0 (LRU thrash)
+    # nor ~1.
+    assert 0.10 < rate < 0.35
+
+
+def test_miss_penalty_values():
+    cache = QpContextCache(APT)
+    assert cache.miss_penalty_ns(hit=True) == 0.0
+    assert cache.miss_penalty_ns(hit=True, requester=True) == 0.0
+    responder = cache.miss_penalty_ns(hit=False)
+    requester = cache.miss_penalty_ns(hit=False, requester=True)
+    assert responder == APT.qp_responder_units * APT.qp_cache_miss_ns_per_unit
+    # Requester contexts are larger, so their misses cost more.
+    assert requester == APT.qp_requester_units * APT.qp_cache_miss_ns_per_unit
+    assert requester > responder
+
+
+def test_used_units_accounting():
+    cache = QpContextCache(APT)
+    cache.access("a", requester=False)
+    cache.access("b", requester=True)
+    assert cache.used_units == APT.qp_responder_units + APT.qp_requester_units
+    assert cache.resident_contexts == 2
+
+
+def test_deterministic_for_fixed_seed():
+    def run(seed):
+        cache = QpContextCache(APT, seed=seed)
+        for i in range(APT.qp_cache_units * 3):
+            cache.access(i % (APT.qp_cache_units + 50), requester=False)
+        return (cache.hits, cache.misses, cache.evictions)
+
+    assert run(3) == run(3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=500))
+def test_cache_invariants_under_arbitrary_access(keys):
+    """Property: usage never exceeds capacity; hits+misses == accesses;
+    a key just inserted is resident."""
+    cache = QpContextCache(APT, seed=1)
+    for key in keys:
+        cache.access(key, requester=bool(key % 2))
+        assert cache.used_units <= cache.capacity
+        assert cache.access(key, requester=bool(key % 2)) is True  # now resident
+    assert cache.hits + cache.misses == 2 * len(keys)

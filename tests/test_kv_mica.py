@@ -1,0 +1,173 @@
+"""Tests for the MICA-style cache (HERD's backend)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv.mica import CircularLog, MicaCache
+
+
+def key(i):
+    return ("key-%06d" % i).encode().ljust(16, b"\x00")
+
+
+# ---------------------------------------------------------------------------
+# CircularLog
+# ---------------------------------------------------------------------------
+
+
+def test_log_append_and_read():
+    log = CircularLog(1024)
+    pos = log.append(b"k1", b"v1")
+    assert log.read(pos) == (b"k1", b"v1")
+
+
+def test_log_positions_are_monotonic():
+    log = CircularLog(1024)
+    p1 = log.append(b"a", b"1")
+    p2 = log.append(b"b", b"2")
+    assert p2 > p1
+
+
+def test_log_wrap_overwrites_oldest():
+    log = CircularLog(64)
+    first = log.append(b"k" * 8, b"v" * 21)
+    positions = [log.append(b"K" * 8, b"V" * 21) for _ in range(3)]
+    assert log.read(first) is None          # overwritten
+    assert log.read(positions[-1]) is not None
+    assert log.wraps >= 1
+
+
+def test_log_wrapped_entry_reads_back_correctly():
+    """An entry split across the physical end must reassemble."""
+    log = CircularLog(50)
+    log.append(b"x" * 10, b"y" * 10)  # tail at 24
+    pos = log.append(b"A" * 10, b"B" * 30)  # 44 bytes, wraps
+    assert log.read(pos) == (b"A" * 10, b"B" * 30)
+
+
+def test_log_rejects_oversized_entry():
+    log = CircularLog(32)
+    with pytest.raises(ValueError):
+        log.append(b"k" * 16, b"v" * 64)
+
+
+def test_log_rejects_tiny_capacity():
+    with pytest.raises(ValueError):
+        CircularLog(4)
+
+
+# ---------------------------------------------------------------------------
+# MicaCache
+# ---------------------------------------------------------------------------
+
+
+def test_put_get_roundtrip():
+    cache = MicaCache()
+    assert cache.put(key(1), b"value-1")
+    assert cache.get(key(1)) == b"value-1"
+
+
+def test_get_missing_returns_none():
+    cache = MicaCache()
+    assert cache.get(key(42)) is None
+    assert cache.misses == 1
+
+
+def test_put_overwrites():
+    cache = MicaCache()
+    cache.put(key(1), b"old")
+    cache.put(key(1), b"new")
+    assert cache.get(key(1)) == b"new"
+
+
+def test_delete():
+    cache = MicaCache()
+    cache.put(key(1), b"v")
+    assert cache.delete(key(1)) is True
+    assert cache.get(key(1)) is None
+    assert cache.delete(key(1)) is False
+
+
+def test_get_costs_at_most_two_accesses():
+    """Section 4.1: each GET requires up to two random memory lookups."""
+    cache = MicaCache()
+    cache.put(key(1), b"v")
+    cache.get(key(1))
+    assert cache.last_op_accesses == 2
+    cache.get(key(999))  # miss in the index: one access
+    assert cache.last_op_accesses == 1
+
+
+def test_put_costs_one_access():
+    """Section 4.1: each PUT requires one random memory lookup."""
+    cache = MicaCache()
+    cache.put(key(1), b"v")
+    assert cache.last_op_accesses == 1
+
+
+def test_lossy_index_evicts_on_full_bucket():
+    """The index may evict items on insertion — that is what makes it a
+    cache rather than a store."""
+    cache = MicaCache(index_entries=MicaCache.SLOTS_PER_BUCKET, log_bytes=1 << 16)
+    assert cache.n_buckets == 1
+    n = MicaCache.SLOTS_PER_BUCKET + 3
+    for i in range(n):
+        cache.put(key(i), b"v%d" % i)
+    assert cache.index_evictions == 3
+    # The newest items survive.
+    assert cache.get(key(n - 1)) == b"v%d" % (n - 1)
+    assert cache.get(key(0)) is None
+
+
+def test_log_wrap_invalidates_index_entries():
+    """FIFO log eviction: old values disappear when the log wraps and
+    the stale index slot is cleaned up on access."""
+    cache = MicaCache(index_entries=2 ** 12, log_bytes=256)
+    cache.put(key(1), b"a" * 50)
+    for i in range(2, 8):
+        cache.put(key(i), b"b" * 50)
+    assert cache.get(key(1)) is None
+    assert cache.lost_to_wrap >= 1
+
+
+def test_values_up_to_1000_bytes():
+    """HERD's maximum item size is 1 KB (Section 4.2)."""
+    cache = MicaCache()
+    cache.put(key(1), b"x" * 1000)
+    assert cache.get(key(1)) == b"x" * 1000
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50), st.binary(min_size=1, max_size=32)),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_matches_dict_model_when_not_evicting(ops):
+    """Property: with ample capacity, MicaCache behaves as a dict."""
+    cache = MicaCache(index_entries=2 ** 16, log_bytes=1 << 20)
+    model = {}
+    for i, value in ops:
+        cache.put(key(i), value)
+        model[key(i)] = value
+    for k, expect in model.items():
+        assert cache.get(k) == expect
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=100))
+def test_cache_never_returns_wrong_value(ids):
+    """Property: even under heavy eviction the cache returns either the
+    latest value or nothing — never a stale or foreign value."""
+    cache = MicaCache(index_entries=16, log_bytes=512)
+    latest = {}
+    for i in ids:
+        value = b"val-%d-%d" % (i, len(latest))
+        cache.put(key(i), value)
+        latest[key(i)] = value
+    for k, expect in latest.items():
+        got = cache.get(k)
+        assert got is None or got == expect

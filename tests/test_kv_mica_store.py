@@ -1,0 +1,63 @@
+"""Tests for MICA's store mode (non-lossy semantics, Section 2.1)."""
+
+import pytest
+
+from repro.kv.mica import MicaCache
+
+
+def key(i):
+    return ("sk-%06d" % i).encode().ljust(16, b"\x00")
+
+
+def test_mode_validation():
+    with pytest.raises(ValueError):
+        MicaCache(mode="archive")
+
+
+def test_store_mode_roundtrip():
+    store = MicaCache(mode="store")
+    assert store.put(key(1), b"v1")
+    assert store.get(key(1)) == b"v1"
+
+
+def test_store_mode_rejects_full_bucket_instead_of_evicting():
+    store = MicaCache(index_entries=MicaCache.SLOTS_PER_BUCKET, mode="store")
+    assert store.n_buckets == 1
+    for i in range(MicaCache.SLOTS_PER_BUCKET):
+        assert store.put(key(i), b"v")
+    assert store.put(key(99), b"v") is False
+    assert store.rejected_puts == 1
+    assert store.index_evictions == 0
+    # Everything inserted is still there.
+    for i in range(MicaCache.SLOTS_PER_BUCKET):
+        assert store.get(key(i)) == b"v"
+
+
+def test_store_mode_rejects_log_wrap_instead_of_overwriting():
+    store = MicaCache(index_entries=2 ** 10, log_bytes=128, mode="store")
+    accepted = 0
+    for i in range(10):
+        if store.put(key(i), b"x" * 20):
+            accepted += 1
+    assert 0 < accepted < 10
+    assert store.rejected_puts > 0
+    # Nothing accepted was ever lost.
+    for i in range(accepted):
+        assert store.get(key(i)) == b"x" * 20
+    assert store.log.wraps == 0
+
+
+def test_store_mode_overwrite_of_existing_key_allowed_when_bucket_full():
+    store = MicaCache(index_entries=MicaCache.SLOTS_PER_BUCKET, mode="store")
+    for i in range(MicaCache.SLOTS_PER_BUCKET):
+        store.put(key(i), b"old")
+    assert store.put(key(0), b"new")  # overwrite, not an insert
+    assert store.get(key(0)) == b"new"
+
+
+def test_cache_mode_still_evicts():
+    cache = MicaCache(index_entries=MicaCache.SLOTS_PER_BUCKET, mode="cache")
+    for i in range(MicaCache.SLOTS_PER_BUCKET + 2):
+        assert cache.put(key(i), b"v")
+    assert cache.index_evictions == 2
+    assert cache.rejected_puts == 0

@@ -1,0 +1,101 @@
+"""Direct checks of claims made in the paper's prose (Sections 4-5.7).
+
+Figure-level claims live in benchmarks/; these are the sentence-level
+quantitative claims scattered through the text.
+"""
+
+import pytest
+
+from repro.baselines import EchoCluster, EchoConfig
+from repro.bench.figures import run_herd
+from repro.bench.microbench import inbound_throughput
+from repro.herd import HerdConfig
+from repro.verbs import Transport
+from repro.workloads import ZipfianGenerator
+
+
+@pytest.fixture(scope="module")
+def herd_peak():
+    return run_herd(value_size=32, get_fraction=0.95, measure_ns=150_000.0)
+
+
+def test_herd_supports_up_to_26_mops(herd_peak):
+    """Abstract: 'supports up to 26 million key-value operations per
+    second with 5 us average latency'."""
+    assert 22.0 < herd_peak.mops < 28.0
+    assert herd_peak.latency["mean_us"] < 10.0
+
+
+def test_herd_throughput_close_to_native_read_throughput(herd_peak):
+    """Abstract: 'full system throughput is similar to native RDMA read
+    throughput' (26 Mops)."""
+    native_read = inbound_throughput("READ", Transport.RC, 32)
+    assert herd_peak.mops > 0.9 * native_read
+
+
+def test_herd_at_peak_is_pio_bound(herd_peak):
+    """Section 5.7: 'the server processes saturate the PCIe PIO
+    throughput' — the PIO path is the busiest server resource."""
+    util = {
+        name: herd_peak.extra["util_%s" % name]
+        for name in ("nic_ingress", "nic_egress", "pio", "dma")
+    }
+    assert util["pio"] == max(util.values())
+    assert util["pio"] > 0.9
+
+
+def test_echo_rate_upper_bounds_herd(herd_peak):
+    """Section 3.2.2: ECHO throughput 'provides an upper bound on the
+    throughput of a key-value cache based on one round trip'."""
+    echo = EchoCluster(
+        EchoConfig.wr_send(), n_clients=48, n_client_machines=16
+    ).run().mops
+    assert herd_peak.mops <= echo * 1.02
+
+
+def test_single_core_herd_delivers_about_6_mops():
+    """Section 5.7: 'using only a single core, HERD can deliver 6.3
+    Mops'."""
+    result = run_herd(
+        value_size=32, get_fraction=0.95, n_server_processes=1, measure_ns=120_000.0
+    )
+    assert 4.5 < result.mops < 8.0
+
+
+def test_five_cores_reach_95_percent_of_peak(herd_peak):
+    """Section 5.6: 'HERD is able to deliver over 95% of its maximum
+    throughput with 5 CPU cores'."""
+    five = run_herd(
+        value_size=32, get_fraction=0.95, n_server_processes=5, measure_ns=120_000.0
+    )
+    assert five.mops > 0.95 * herd_peak.mops
+
+
+def test_per_core_throughput_at_six_cores_near_4_3(herd_peak):
+    """Section 5.7: 'the system delivers 4.32 Mops per core' at 6."""
+    per_core = herd_peak.mops / 6.0
+    assert 3.5 < per_core < 5.0
+
+
+def test_request_region_fits_in_l3():
+    """Section 4.2: with NC = 200, NS = 16, W = 2 the request region is
+    about 6 MB and fits inside the server's L3 cache."""
+    config = HerdConfig(n_server_processes=16, window=2)
+    size = config.region_bytes(n_clients=200)
+    assert size == 200 * 16 * 2 * 1024
+    assert size < 20 * (1 << 20)  # a Xeon E5-2450 has a 20 MB L3
+
+
+def test_hottest_key_is_1e5_times_average():
+    """Section 5.7: 'the most popular key is over 1e5 times more
+    popular than the average' (8M-key universe, Zipf .99)."""
+    gen = ZipfianGenerator(8_000_000, theta=0.99)
+    assert gen.probability_of_rank(0) * 8_000_000 > 1e5
+
+
+def test_workload_mix_does_not_change_herd_throughput():
+    """Section 5.3: 'the throughput does not depend on the workload
+    composition' for small items."""
+    read_heavy = run_herd(get_fraction=0.95, measure_ns=100_000.0).mops
+    write_heavy = run_herd(get_fraction=0.5, measure_ns=100_000.0).mops
+    assert abs(read_heavy - write_heavy) / read_heavy < 0.05

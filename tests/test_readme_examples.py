@@ -1,0 +1,48 @@
+"""The README's code must actually run (and the examples must parse)."""
+
+import ast
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def test_readme_quickstart_snippet_runs():
+    readme = (ROOT / "README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+    assert blocks, "README lost its quickstart snippet"
+    namespace = {}
+    exec(compile(blocks[0], "<readme>", "exec"), namespace)  # noqa: S102
+
+
+def test_every_example_parses_and_has_a_main():
+    examples = sorted((ROOT / "examples").glob("*.py"))
+    assert len(examples) >= 8
+    for path in examples:
+        tree = ast.parse(path.read_text())
+        names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in names, path.name
+        # Runnable as a script.
+        assert 'if __name__ == "__main__":' in path.read_text(), path.name
+
+
+def test_docs_reference_real_modules():
+    """DESIGN.md's experiment index must not drift from the code."""
+    import importlib
+
+    design = (ROOT / "DESIGN.md").read_text()
+    for module in re.findall(r"`repro\.[a-z_.]+`", design):
+        name = module.strip("`")
+        # Strip a trailing attribute if it isn't importable as a module.
+        try:
+            importlib.import_module(name)
+        except ImportError:
+            parent, _, attr = name.rpartition(".")
+            mod = importlib.import_module(parent)
+            assert hasattr(mod, attr), name
+
+
+def test_bench_targets_in_design_exist():
+    design = (ROOT / "DESIGN.md").read_text()
+    for target in re.findall(r"`benchmarks/(bench_[a-z0-9_]+\.py)`", design):
+        assert (ROOT / "benchmarks" / target).exists(), target

@@ -1,0 +1,65 @@
+"""Tests for latency/rate measurement helpers."""
+
+import pytest
+
+from repro.sim import LatencyRecorder, RateMeter
+
+
+def test_latency_recorder_filters_by_window():
+    rec = LatencyRecorder(window_start=100.0, window_end=200.0)
+    rec.record(50.0, 10.0)     # before window: dropped
+    rec.record(150.0, 20.0)    # inside
+    rec.record(250.0, 30.0)    # after: dropped
+    assert rec.count == 1
+    assert rec.mean() == 20.0
+
+
+def test_latency_percentiles():
+    rec = LatencyRecorder()
+    for latency in range(1, 101):
+        rec.record(0.0, float(latency))
+    assert rec.percentile(50) == pytest.approx(50.5)
+    assert rec.percentile(95) == pytest.approx(95.05)
+
+
+def test_latency_summary_in_microseconds():
+    rec = LatencyRecorder()
+    rec.record(0.0, 5000.0)  # 5 us
+    summary = rec.summary()
+    assert summary["mean_us"] == pytest.approx(5.0)
+    assert summary["p95_us"] == pytest.approx(5.0)
+
+
+def test_latency_empty_summary_is_zero():
+    assert LatencyRecorder().summary()["mean_us"] == 0.0
+    assert LatencyRecorder().mean() == 0.0
+    assert LatencyRecorder().percentile(95) == 0.0
+
+
+def test_rate_meter_mops():
+    meter = RateMeter(window_start=0.0, window_end=1e6)  # 1 ms window
+    for i in range(1000):
+        meter.record(float(i))
+    assert meter.mops() == pytest.approx(1000 / 1e6 * 1e3)  # 1 Mops
+
+
+def test_rate_meter_window_filter():
+    meter = RateMeter(window_start=100.0, window_end=200.0)
+    meter.record(50.0)
+    meter.record(150.0)
+    meter.record(150.0)
+    meter.record(201.0)
+    assert meter.count == 2
+    assert meter.total == 4
+
+
+def test_rate_meter_zero_window():
+    meter = RateMeter(window_start=100.0, window_end=100.0)
+    assert meter.mops() == 0.0
+
+
+def test_rate_meter_override_end():
+    meter = RateMeter(window_start=0.0, window_end=float("inf"))
+    for _ in range(500):
+        meter.record(10.0)
+    assert meter.mops(window_end=1e3) == pytest.approx(500.0)

@@ -1,0 +1,60 @@
+"""Susitna / RoCE profile behaviour (Table 2, Figures 9-10's right side)."""
+
+import pytest
+
+from repro.bench.figures import run_farm, run_herd, run_pilaf
+from repro.bench.microbench import inbound_throughput, verb_latency
+from repro.hw import APT, SUSITNA, Fabric, Machine
+from repro.sim import Simulator
+from repro.verbs import RdmaDevice, RecvRequest, Transport, WorkRequest
+
+
+def test_roce_ud_packets_carry_grh_on_the_wire():
+    """RoCE datagrams carry a 40-byte GRH; IB within a subnet does not."""
+    sim = Simulator()
+    fabric = Fabric(sim, SUSITNA)
+    a = RdmaDevice(Machine(sim, fabric, "a"))
+    b = RdmaDevice(Machine(sim, fabric, "b"))
+    qb = b.create_qp(Transport.UD)
+    mr = b.register_memory(2048)
+    b.post_recv(qb, RecvRequest(wr_id=0, local=(mr, 0, 2048)))
+    qa = a.create_qp(Transport.UD)
+    a.post_send(
+        qa, WorkRequest.send(payload=b"x" * 32, inline=True, signaled=False, ah=("b", qb.qpn))
+    )
+    sim.run_until_idle()
+    expected = SUSITNA.wire_bytes(32, ud=True)
+    assert a.machine.port.tx_bytes == expected
+    assert expected > APT.wire_bytes(32, ud=True)
+
+
+def test_susitna_inbound_rates_below_apt():
+    """PCIe 2.0 x8 throttles the NIC's DMA engines (Section 5)."""
+    apt_write = inbound_throughput("WRITE", Transport.UC, 32, profile=APT)
+    sus_write = inbound_throughput("WRITE", Transport.UC, 32, profile=SUSITNA)
+    assert sus_write < apt_write
+    apt_read = inbound_throughput("READ", Transport.RC, 128, profile=APT)
+    sus_read = inbound_throughput("READ", Transport.RC, 128, profile=SUSITNA)
+    assert sus_read < apt_read
+
+
+def test_susitna_latency_slightly_higher():
+    assert verb_latency("READ", 32, profile=SUSITNA) > verb_latency("READ", 32, profile=APT)
+
+
+@pytest.mark.slow
+def test_susitna_end_to_end_ordering_matches_apt():
+    """The systems' relative order is cluster-independent (Figure 9):
+    HERD > FaRM-em ~ FaRM-em-VAR > Pilaf-em on read-intensive 48 B."""
+    herd = run_herd(profile=SUSITNA, measure_ns=120_000.0).mops
+    pilaf = run_pilaf(profile=SUSITNA, measure_ns=120_000.0).mops
+    farm = run_farm(profile=SUSITNA, measure_ns=120_000.0).mops
+    assert herd > farm > pilaf
+    # And everything is well below the Apt numbers.
+    assert herd < run_herd(profile=APT, measure_ns=120_000.0).mops
+
+
+def test_susitna_herd_inline_cutoff_is_192():
+    assert SUSITNA.herd_inline_cutoff == 192
+    result = run_herd(profile=SUSITNA, value_size=180, measure_ns=100_000.0)
+    assert result.ops > 50  # 180 B values still inlined on Susitna

@@ -1,0 +1,154 @@
+"""Tests for the Dynamically Connected (DC) transport extension."""
+
+import pytest
+
+from repro.hw import APT, Fabric, Machine
+from repro.sim import Simulator
+from repro.verbs import (
+    Opcode,
+    RdmaDevice,
+    RecvRequest,
+    Transport,
+    VerbError,
+    WorkRequest,
+    connect_pair,
+    transport_supports,
+)
+
+
+def make_world(n=2):
+    sim = Simulator()
+    fabric = Fabric(sim, APT)
+    devices = [RdmaDevice(Machine(sim, fabric, "m%d" % i)) for i in range(n)]
+    return sim, fabric, devices
+
+
+def test_dc_is_reliable_and_unconnected():
+    assert Transport.DC.reliable
+    assert not Transport.DC.connected
+
+
+def test_dc_supports_all_verbs():
+    for op in (Opcode.SEND, Opcode.RECV, Opcode.WRITE, Opcode.READ):
+        assert transport_supports(Transport.DC, op)
+
+
+def test_dc_cannot_connect_or_pair():
+    sim, _fabric, (a, b) = make_world()
+    qp = a.create_qp(Transport.DC)
+    with pytest.raises(VerbError):
+        qp.connect("m1", 1)
+    with pytest.raises(VerbError):
+        connect_pair(a, b, Transport.DC)
+
+
+def test_dc_write_requires_address_handle():
+    sim, _fabric, (a, b) = make_world()
+    qp = a.create_qp(Transport.DC)
+    mr = b.register_memory(128)
+    a.post_send(
+        qp, WorkRequest.write(raddr=mr.addr, rkey=mr.rkey, payload=b"x", inline=True)
+    )
+    with pytest.raises(VerbError):
+        sim.run_until_idle()
+
+
+def test_one_dc_qp_writes_to_many_targets():
+    """The whole point of DC: one initiator context, many remotes."""
+    sim, _fabric, devices = make_world(n=4)
+    initiator = devices[0]
+    qp = initiator.create_qp(Transport.DC)
+    targets = []
+    for dev in devices[1:]:
+        dct = dev.create_qp(Transport.DC)
+        mr = dev.register_memory(128)
+        targets.append((dev, dct, mr))
+    for i, (dev, dct, mr) in enumerate(targets):
+        initiator.post_send(
+            qp,
+            WorkRequest.write(
+                raddr=mr.addr, rkey=mr.rkey, payload=b"dc-%d" % i,
+                inline=True, signaled=False,
+                ah=(dev.machine.name, dct.qpn),
+            ),
+        )
+    sim.run_until_idle()
+    for i, (_dev, _dct, mr) in enumerate(targets):
+        assert mr.read(0, 4) == b"dc-%d" % i
+
+
+def test_dc_write_is_acknowledged():
+    """DC is reliable: signaled WRITEs complete only after the ACK."""
+    sim, _fabric, (a, b) = make_world()
+    qp = a.create_qp(Transport.DC)
+    dct = b.create_qp(Transport.DC)
+    mr = b.register_memory(128)
+    a.post_send(
+        qp,
+        WorkRequest.write(
+            raddr=mr.addr, rkey=mr.rkey, payload=b"y", inline=True,
+            signaled=True, ah=("m1", dct.qpn),
+        ),
+    )
+    sim.run(until=APT.wire_delay_ns * 1.5)
+    assert len(qp.send_cq) == 0  # not before the round trip
+    sim.run_until_idle()
+    assert len(qp.send_cq) == 1
+    assert a.acks_received == 1
+
+
+def test_dc_read_roundtrip():
+    sim, _fabric, (a, b) = make_world()
+    qp = a.create_qp(Transport.DC)
+    dct = b.create_qp(Transport.DC)
+    remote = b.register_memory(128)
+    remote.write(0, b"dc-read-data")
+    sink = a.register_memory(128)
+    a.post_send(
+        qp,
+        WorkRequest.read(
+            raddr=remote.addr, rkey=remote.rkey, local=(sink, 0, 12),
+        ),
+    )
+    # READ needs the ah too; attach it via the wr field.
+    # (Constructed without ah above: expect a VerbError at transmit.)
+    with pytest.raises(VerbError):
+        sim.run_until_idle()
+
+
+def test_dc_retransmits_through_bit_errors():
+    sim, fabric, (a, b) = make_world()
+    fabric.bit_error_rate = 0.5
+    qp = a.create_qp(Transport.DC)
+    dct = b.create_qp(Transport.DC)
+    mr = b.register_memory(128)
+    a.post_send(
+        qp,
+        WorkRequest.write(
+            raddr=mr.addr, rkey=mr.rkey, payload=b"durable", inline=True,
+            signaled=False, ah=("m1", dct.qpn),
+        ),
+    )
+    sim.run_until_idle(limit=50_000_000)
+    assert mr.read(0, 7) == b"durable"
+
+
+def test_herd_over_dc_matches_uc_at_moderate_scale():
+    from repro.herd import HerdCluster, HerdConfig
+    from repro.workloads import Workload
+
+    def run(transport):
+        cluster = HerdCluster(
+            HerdConfig(n_server_processes=2, window=2, request_transport=transport),
+            n_client_machines=2,
+            seed=4,
+        )
+        cluster.add_clients(4, Workload(get_fraction=0.5, value_size=32, n_keys=256))
+        cluster.preload(range(256), 32)
+        result = cluster.run(warmup_ns=0, measure_ns=100_000)
+        assert sum(c.failures for c in cluster.clients) == 0
+        return result.mops
+
+    uc = run("UC")
+    dc = run("DC")
+    assert abs(uc - dc) / uc < 0.15

@@ -1,0 +1,86 @@
+"""Tests for memory regions and the registration table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verbs.mr import MemoryRegion, MrAccessError, MrTable, PAGE
+
+
+def test_register_assigns_nonzero_page_aligned_addresses():
+    table = MrTable()
+    a = table.register(100)
+    b = table.register(100)
+    assert a.addr != 0
+    assert a.addr % PAGE == 0
+    assert b.addr % PAGE == 0
+    assert b.addr >= a.addr + PAGE  # non-overlapping
+
+
+def test_register_rejects_empty():
+    with pytest.raises(ValueError):
+        MrTable().register(0)
+
+
+def test_local_write_read_roundtrip():
+    mr = MrTable().register(64)
+    mr.write(10, b"hello")
+    assert mr.read(10, 5) == b"hello"
+    assert mr.read(0, 10) == b"\x00" * 10
+
+
+def test_write_out_of_bounds():
+    mr = MrTable().register(16)
+    with pytest.raises(MrAccessError):
+        mr.write(12, b"toolong")
+    with pytest.raises(MrAccessError):
+        mr.write(-1, b"x")
+
+
+def test_read_out_of_bounds():
+    mr = MrTable().register(16)
+    with pytest.raises(MrAccessError):
+        mr.read(8, 9)
+    with pytest.raises(MrAccessError):
+        mr.read(0, -1)
+
+
+def test_offset_of_translates_addresses():
+    table = MrTable()
+    mr = table.register(128)
+    assert mr.offset_of(mr.addr) == 0
+    assert mr.offset_of(mr.addr + 127) == 127
+    with pytest.raises(MrAccessError):
+        mr.offset_of(mr.addr + 128)
+    with pytest.raises(MrAccessError):
+        mr.offset_of(mr.addr - 1)
+
+
+def test_resolve_checks_rkey_and_bounds():
+    table = MrTable()
+    mr = table.register(128)
+    assert table.resolve(mr.addr, mr.rkey, 128) is mr
+    with pytest.raises(MrAccessError):
+        table.resolve(mr.addr, mr.rkey + 99, 8)  # bad rkey
+    with pytest.raises(MrAccessError):
+        table.resolve(mr.addr + 120, mr.rkey, 16)  # overrun
+
+
+def test_distinct_keys_per_region():
+    table = MrTable()
+    a = table.register(8)
+    b = table.register(8)
+    assert a.rkey != b.rkey
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=256),
+    st.binary(min_size=0, max_size=64),
+)
+def test_roundtrip_any_offset_and_payload(capacity_extra, payload):
+    """Property: any in-bounds write reads back exactly."""
+    mr = MemoryRegion(addr=PAGE, length=len(payload) + capacity_extra, lkey=1, rkey=1)
+    offset = capacity_extra // 2
+    mr.write(offset, payload)
+    assert mr.read(offset, len(payload)) == payload

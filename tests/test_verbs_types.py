@@ -1,0 +1,79 @@
+"""Tests for verb types and the Table 1 capability matrix."""
+
+import pytest
+
+from repro.verbs import Opcode, Transport, VerbError, WorkRequest, transport_supports
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+def test_rc_supports_everything():
+    for op in (Opcode.SEND, Opcode.RECV, Opcode.WRITE, Opcode.READ):
+        assert transport_supports(Transport.RC, op)
+
+
+def test_uc_supports_write_but_not_read():
+    assert transport_supports(Transport.UC, Opcode.WRITE)
+    assert transport_supports(Transport.UC, Opcode.SEND)
+    assert not transport_supports(Transport.UC, Opcode.READ)
+
+
+def test_ud_supports_only_messaging():
+    assert transport_supports(Transport.UD, Opcode.SEND)
+    assert transport_supports(Transport.UD, Opcode.RECV)
+    assert not transport_supports(Transport.UD, Opcode.WRITE)
+    assert not transport_supports(Transport.UD, Opcode.READ)
+
+
+def test_transport_flags():
+    assert Transport.RC.connected and Transport.RC.reliable
+    assert Transport.UC.connected and not Transport.UC.reliable
+    assert not Transport.UD.connected and not Transport.UD.reliable
+
+
+def test_semantics_classification():
+    """Memory semantics vs channel semantics (Section 2.2.2)."""
+    assert Opcode.WRITE.memory_semantics
+    assert Opcode.READ.memory_semantics
+    assert Opcode.SEND.channel_semantics
+    assert Opcode.RECV.channel_semantics
+    assert not Opcode.SEND.memory_semantics
+
+
+# ---------------------------------------------------------------------------
+# WorkRequest constructors
+# ---------------------------------------------------------------------------
+
+
+def test_write_constructor_inline():
+    wr = WorkRequest.write(raddr=0x1000, rkey=1, payload=b"abc", inline=True)
+    assert wr.opcode is Opcode.WRITE
+    assert wr.length == 3
+
+
+def test_write_requires_some_source():
+    with pytest.raises(VerbError):
+        WorkRequest.write(raddr=0, rkey=0)
+
+
+def test_inline_write_requires_payload():
+    with pytest.raises(VerbError):
+        WorkRequest.write(raddr=0, rkey=0, local=(None, 0, 8), inline=True)
+
+
+def test_send_requires_some_source():
+    with pytest.raises(VerbError):
+        WorkRequest.send()
+
+
+def test_read_length_comes_from_local_sink():
+    wr = WorkRequest.read(raddr=0x2000, rkey=2, local=(None, 0, 128))
+    assert wr.length == 128
+
+
+def test_length_zero_for_empty():
+    wr = WorkRequest.send(payload=b"")
+    assert wr.length == 0
