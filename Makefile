@@ -1,6 +1,6 @@
 # Convenience targets for the HERD reproduction.
 
-.PHONY: install test bench figures figures-full examples clean
+.PHONY: install test bench figures figures-full examples metrics-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -22,6 +22,17 @@ figures-full:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+# One small figure with full observability on; both artifacts must parse.
+metrics-smoke:
+	python -m repro.bench.cli fig2 --metrics /tmp/herd-metrics.json \
+		--trace /tmp/herd-trace.json
+	python -c "import json; m = json.load(open('/tmp/herd-metrics.json')); \
+		assert m['runs'] and all(r['stations'] for r in m['runs']), 'no station metrics'; \
+		t = json.load(open('/tmp/herd-trace.json')); \
+		assert any(e['ph'] == 'X' for e in t['traceEvents']), 'no trace spans'; \
+		print('metrics-smoke ok: %d runs, %d trace events' \
+		% (len(m['runs']), len(t['traceEvents'])))"
 
 clean:
 	rm -rf benchmarks/out .pytest_cache .hypothesis

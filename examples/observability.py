@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Observability: metrics and traces from an instrumented HERD run.
+
+Wraps a small HERD deployment in an ``obs.capture()`` session: every
+simulator built inside the block gets a metrics registry (station
+utilization, queue-delay histograms, HERD op counters) and a bounded
+tracer.  The session then exports a metrics JSON and a Chrome
+trace-event file (load it via chrome://tracing or ui.perfetto.dev).
+
+The same instrumentation hangs off any ``herd-bench`` invocation:
+
+    herd-bench fig9 --metrics m.json --trace t.trace.json
+
+Run:  python examples/observability.py
+"""
+
+from repro.herd import HerdCluster, HerdConfig
+from repro.obs import capture
+from repro.workloads import Workload
+
+
+def main() -> None:
+    with capture(trace=True, trace_limit=50_000) as session:
+        session.label = "quickstart"
+        cluster = HerdCluster(HerdConfig(n_server_processes=4, window=4), seed=1)
+        cluster.add_clients(24, Workload(get_fraction=0.95, value_size=32, n_keys=4096))
+        cluster.preload(range(4096), value_size=32)
+        result = cluster.run(warmup_ns=20_000, measure_ns=100_000)
+
+    print("throughput: %.1f Mops" % result.mops)
+
+    # The RunResult carries a RunReport snapshot of the same registry.
+    report = result.report
+    print("report: %s at t=%.0f ns, %d trace events buffered" % (
+        report.name, report.sim_time_ns, report.trace_events,
+    ))
+
+    snap = session.runs[0].registry.snapshot()
+    print("\nwhere the server machine's time went:")
+    for name, station in sorted(snap["stations"].items()):
+        if not name.startswith("server."):
+            continue
+        delay = station["queue_delay_ns"]
+        print("  %-28s util %5.1f%%  jobs %7d  mean queue delay %6.1f ns" % (
+            name, 100.0 * station["utilization"], station["jobs"], delay["mean"],
+        ))
+
+    print("\nsemantic counters (selection):")
+    for name, value in sorted(snap["counters"].items()):
+        if "wqe" in name or name.endswith("cqe_dma"):
+            print("  %-40s %d" % (name, value))
+    for name, value in sorted(snap["gauges"].items()):
+        if name.startswith("herd.server0."):
+            print("  %-40s %d" % (name, int(value)))
+
+    session.write_metrics("observability-metrics.json")
+    session.write_trace("observability-trace.json")
+    print("\nwrote observability-metrics.json and observability-trace.json")
+    print("(open the trace in chrome://tracing or ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,16 +6,43 @@ Examples::
     herd-bench fig10
     herd-bench fig5 fig6 --scale full
     herd-bench all --scale bench
+    herd-bench fig9 --metrics m.json --trace t.trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
+from typing import List
 
 from repro.bench.figures import FIGURES, TABLES
 from repro.bench.report import format_figure
+
+
+def resolve_experiments(requested: List[str]) -> List[str]:
+    """Validate the requested ids up front and expand ``all`` anywhere.
+
+    Raises ``ValueError`` naming every unknown id, so a typo cannot
+    burn minutes of sweep time before failing (``herd-bench fig5
+    fig99`` used to run fig5 and *then* exit 2), and ``all`` works in
+    any position, not just as the sole argument.
+    """
+    known = set(TABLES) | set(FIGURES)
+    unknown = sorted(set(exp for exp in requested if exp != "all") - known)
+    if unknown:
+        raise ValueError(
+            "unknown experiment%s %s (try --list)"
+            % ("s" if len(unknown) > 1 else "", ", ".join(map(repr, unknown)))
+        )
+    resolved: List[str] = []
+    for exp in requested:
+        expansion = sorted(TABLES) + sorted(FIGURES) if exp == "all" else [exp]
+        for item in expansion:
+            if item not in resolved:
+                resolved.append(item)
+    return resolved
 
 
 def main(argv=None) -> int:
@@ -40,6 +67,26 @@ def main(argv=None) -> int:
         action="store_true",
         help="also render each figure as a terminal chart",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write per-run metrics (station utilization, queue-delay "
+        "histograms, op counters) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write hardware-station spans to PATH: Chrome trace-event "
+        "JSON (load via chrome://tracing), or JSON lines if PATH ends "
+        "in .jsonl",
+    )
+    parser.add_argument(
+        "--trace-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound each run's trace ring buffer to the last N events",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     args = parser.parse_args(argv)
 
@@ -48,26 +95,61 @@ def main(argv=None) -> int:
         print("figures: " + "  ".join(sorted(FIGURES)))
         return 0
 
-    wanted = args.experiments
-    if wanted == ["all"]:
-        wanted = sorted(TABLES) + sorted(FIGURES)
+    try:
+        wanted = resolve_experiments(args.experiments)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
-    for exp in wanted:
-        started = time.time()
-        if exp in TABLES:
-            print(TABLES[exp]())
-        elif exp in FIGURES:
-            data = FIGURES[exp](scale=args.scale)
-            print(format_figure(data))
-            if args.chart:
-                from repro.bench.ascii_chart import chart
-
-                print()
-                print(chart(data))
-        else:
-            print("unknown experiment %r (try --list)" % exp, file=sys.stderr)
+    # Fail on unwritable output paths *before* burning sweep time.
+    for path in (args.metrics, args.trace):
+        if path is None:
+            continue
+        try:
+            with open(path, "w"):
+                pass
+        except OSError as error:
+            print("cannot write %s: %s" % (path, error), file=sys.stderr)
             return 2
-        print("[%s took %.1f s]\n" % (exp, time.time() - started))
+
+    session = None
+    with contextlib.ExitStack() as stack:
+        if args.metrics or args.trace:
+            from repro.obs import session as obs
+
+            session = stack.enter_context(
+                obs.capture(
+                    metrics=args.metrics is not None,
+                    trace=args.trace is not None,
+                    trace_limit=args.trace_limit or obs.DEFAULT_TRACE_EVENTS,
+                )
+            )
+        for exp in wanted:
+            if session is not None:
+                session.label = exp
+            started = time.time()
+            if exp in TABLES:
+                print(TABLES[exp]())
+            else:
+                data = FIGURES[exp](scale=args.scale)
+                print(format_figure(data))
+                if args.chart:
+                    from repro.bench.ascii_chart import chart
+
+                    print()
+                    print(chart(data))
+            print("[%s took %.1f s]\n" % (exp, time.time() - started))
+
+    if session is not None:
+        if args.metrics:
+            session.write_metrics(args.metrics)
+            print("metrics: %s (%d runs)" % (args.metrics, len(session.runs)))
+        if args.trace:
+            if args.trace.endswith(".jsonl"):
+                session.write_trace_jsonl(args.trace)
+            else:
+                session.write_trace(args.trace)
+            print("trace: %s" % args.trace)
     return 0
 
 

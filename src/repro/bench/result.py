@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.obs.report import RunReport
 from repro.sim import LatencyRecorder, RateMeter
 
 
@@ -22,6 +23,9 @@ class RunResult:
     per_server_mops: List[float] = field(default_factory=list)
     #: free-form extra measurements (cache hit rates, noops, ...)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: full observability bundle, when the run was instrumented
+    #: (``sim.metrics`` / ``sim.tracer``, e.g. under ``obs.capture``)
+    report: Optional[RunReport] = None
 
 
 def collect(
@@ -29,6 +33,7 @@ def collect(
     latencies: LatencyRecorder,
     window_ns: float,
     per_server: List[RateMeter] = (),
+    report: Optional[RunReport] = None,
     **extra: float,
 ) -> RunResult:
     """Bundle meters into a :class:`RunResult`."""
@@ -38,4 +43,5 @@ def collect(
         latency=latencies.summary(),
         per_server_mops=[m.mops() for m in per_server],
         extra=dict(extra),
+        report=report,
     )

@@ -10,8 +10,9 @@ fabric and renders the timeline — the paper's Figure 1 as text.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.hw import APT, Fabric, HardwareProfile, Machine
 from repro.sim import Simulator
@@ -33,11 +34,18 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects busy spans and instantaneous markers."""
+    """Collects busy spans and instantaneous markers.
 
-    def __init__(self, sim: Simulator) -> None:
+    With ``max_events`` set, the tracer is a bounded ring buffer that
+    keeps only the most recent events — long sweeps can stay traced
+    without unbounded memory (the Chrome exporter in
+    :mod:`repro.obs.export` consumes either mode).
+    """
+
+    def __init__(self, sim: Simulator, max_events: Optional[int] = None) -> None:
         self.sim = sim
-        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.events = [] if max_events is None else deque(maxlen=max_events)
 
     def span(self, station: str, start_ns: float, end_ns: float, label: str = "") -> None:
         self.events.append(TraceEvent(start_ns, end_ns, station, label))

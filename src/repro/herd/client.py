@@ -102,6 +102,13 @@ class HerdClientProcess:
         self._pending: List[Deque[_Pending]] = [deque() for _ in range(ns)]
         self.outstanding = 0
         self.response_hook: Optional[ResponseHook] = None
+        # Observability (repro.obs): per-client response latency
+        metrics = getattr(self.sim, "metrics", None)
+        self._lat_hist = (
+            None
+            if metrics is None
+            else metrics.histogram("herd.client%d.latency_ns" % client_id)
+        )
         # counters
         self.issued = 0
         self.completed = 0
@@ -277,6 +284,8 @@ class HerdClientProcess:
         self.completed += 1
         self._slot_free[server].add(record.window_slot)
         latency = self.sim.now - record.sent_at
+        if self._lat_hist is not None:
+            self._lat_hist.observe(latency)
         success, value = decode_response(record.op.op, payload)
         if record.op.op is OpType.GET and not success:
             self.get_misses += 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.bench.result import RunResult, collect
+from repro.obs.report import RunReport
 from repro.hw import APT, Fabric, HardwareProfile, Machine
 from repro.sim import LatencyRecorder, RateMeter, Simulator
 from repro.verbs import RdmaDevice, Transport
@@ -148,6 +149,7 @@ class HerdCluster:
             latencies,
             measure_ns,
             per_server=per_server,
+            report=RunReport.from_sim(self.sim, name="herd-cluster"),
             server_qp_cache_hit_rate=machine.qp_cache.hit_rate(),
             # Where the server machine's time went: the paper's
             # bottleneck narrative in one dict (Section 5.7: at peak,

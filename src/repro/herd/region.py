@@ -46,7 +46,8 @@ class RequestRegion:
         self.mr.on_write = self._on_write
         #: per-server-process arrival queues of (client, window slot)
         self.arrivals: List[Store] = [
-            Store(sim) for _ in range(config.n_server_processes)
+            Store(sim, "region.arrivals.s%d" % s)
+            for s in range(config.n_server_processes)
         ]
         self.requests_seen = 0
 

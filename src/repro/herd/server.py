@@ -65,6 +65,10 @@ class HerdServerProcess:
         )
         self._staging = device.register_memory(_STAGING_BYTES)
         self._staging_cursor = 0
+        #: staging extents (start, end) whose responses the NIC has not
+        #: yet DMA-read out of host memory — a wrapped cursor must not
+        #: overwrite these (it would corrupt an in-flight response)
+        self._staging_inflight: List[Tuple[int, int]] = []
         self.completion_hook: Optional[CompletionHook] = None
         # counters
         self.gets = 0
@@ -72,6 +76,17 @@ class HerdServerProcess:
         self.get_hits = 0
         self.responses = 0
         self.noops_pushed = 0
+        # Observability (repro.obs)
+        metrics = getattr(self.sim, "metrics", None)
+        self._occupancy = None
+        if metrics is not None:
+            prefix = "herd.server%d." % index
+            metrics.gauge_fn(prefix + "gets", lambda: self.gets)
+            metrics.gauge_fn(prefix + "puts", lambda: self.puts)
+            metrics.gauge_fn(prefix + "get_hits", lambda: self.get_hits)
+            metrics.gauge_fn(prefix + "responses", lambda: self.responses)
+            metrics.gauge_fn(prefix + "noops", lambda: self.noops_pushed)
+            self._occupancy = metrics.histogram(prefix + "pipeline_occupancy")
 
     # ------------------------------------------------------------------
 
@@ -123,6 +138,8 @@ class HerdServerProcess:
             # completes while we respond to the pipeline's oldest entry.
             yield sim.timeout(1.0)
         completed = self.pipeline.push((client, window_slot, op))
+        if self._occupancy is not None:
+            self._occupancy.observe(len(self.pipeline))
         yield from self._complete(completed)
 
     def _complete(
@@ -171,13 +188,36 @@ class HerdServerProcess:
             wr = WorkRequest.send(
                 local=(self._staging, offset, len(payload)), signaled=False, ah=ah
             )
+            extent = (offset, offset + len(payload))
+            wr.on_fetched = lambda: self._staging_inflight.remove(extent)
         yield from self.device.post_send_timed(self.ud_qp, wr)
 
     def _stage(self, payload: bytes) -> int:
-        """Copy a response into the staging MR; returns its offset."""
-        if self._staging_cursor + len(payload) > _STAGING_BYTES:
-            self._staging_cursor = 0
-        offset = self._staging_cursor
-        self._staging.write(offset, payload)
-        self._staging_cursor += len(payload)
-        return offset
+        """Copy a response into the staging MR; returns its offset.
+
+        The cursor wraps like a ring buffer, but an extent is only
+        handed out once it cannot overlap a response the NIC is still
+        DMA-reading (sends are unsignaled, so the DMA-fetch callback —
+        not a CQE — retires extents).
+        """
+        size = len(payload)
+        if size > _STAGING_BYTES:
+            raise ValueError(
+                "response payload of %d B exceeds the %d B staging buffer; "
+                "values this large cannot be sent un-inlined" % (size, _STAGING_BYTES)
+            )
+        start = self._staging_cursor
+        if start + size > _STAGING_BYTES:
+            start = 0
+        for in_start, in_end in self._staging_inflight:
+            if start < in_end and start + size > in_start:
+                raise RuntimeError(
+                    "staging buffer exhausted: extent [%d, %d) overlaps "
+                    "in-flight response [%d, %d) (%d responses awaiting "
+                    "DMA fetch)"
+                    % (start, start + size, in_start, in_end, len(self._staging_inflight))
+                )
+        self._staging_inflight.append((start, start + size))
+        self._staging.write(start, payload)
+        self._staging_cursor = start + size
+        return start

@@ -45,6 +45,9 @@ class Machine:
         self.qp_cache = QpContextCache(self.profile, seed=cache_seed)
         self.port: Port = fabric.attach(name, self._deliver)
         self._packet_handler: Optional[Callable[[Any], None]] = None
+        metrics = getattr(sim, "metrics", None)
+        if metrics is not None:
+            metrics.watch_qp_cache(name, self.qp_cache)
 
     def attach_packet_handler(self, handler: Callable[[Any], None]) -> None:
         """Install the verbs-layer packet handler (one per machine)."""

@@ -1,0 +1,49 @@
+"""Unified observability: metrics registry, trace export, run reports.
+
+The paper attributes throughput to specific hardware stations — PIO vs
+DMA occupancy, RNIC processing, QP-cache behaviour (Section 3.2,
+Figures 2-7) — so every perf claim this repo makes needs the same
+per-resource accounting.  This package provides it:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — named counters,
+  gauges, and log-scale histograms.  Attach one to a simulator
+  (``sim.metrics = MetricsRegistry(sim)``) *before* building a cluster
+  and every :class:`~repro.sim.resources.FifoServer` (utilization, jobs,
+  queue-delay histogram), :class:`~repro.sim.resources.Store` (depth
+  high-water mark), QP-context cache, verbs device, and HERD process
+  registers itself automatically.
+* :func:`~repro.obs.export.chrome_trace` /
+  :func:`~repro.obs.export.write_jsonl` — export a
+  :class:`~repro.bench.trace.Tracer`'s spans as ``chrome://tracing``
+  JSON or JSON-lines.
+* :func:`~repro.obs.session.capture` — a context manager that
+  instruments every simulator created inside it; this is what powers
+  ``herd-bench --metrics out.json --trace out.trace.json``.
+* :class:`~repro.obs.report.RunReport` — the per-run bundle experiment
+  harnesses attach to their results.
+
+Everything is opt-in: without a registry/tracer attached, the hot paths
+skip all instrumentation (a single attribute test).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import Counter, Gauge, LogHistogram, MetricsRegistry
+from repro.obs.report import RunReport
+from repro.obs.session import ObsSession, capture
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "ObsSession",
+    "RunReport",
+    "capture",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,121 @@
+"""Trace exporters: Chrome trace-event JSON and JSON lines.
+
+A :class:`~repro.bench.trace.Tracer` records ``TraceEvent`` spans in
+nanoseconds.  Chrome's trace viewer (``chrome://tracing``, or Perfetto's
+legacy loader) consumes the *JSON object format*: a dict with a
+``traceEvents`` list whose entries use microsecond timestamps.  Spans
+become complete events (``"ph": "X"``); zero-length marks become
+instant events (``"ph": "i"``).
+
+Stations map to trace *threads* (``tid``) inside one *process* per
+simulation run (``pid``), so concurrent runs exported together stay
+visually separated.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+
+def _events_of(tracer: Any) -> Iterable[Any]:
+    """Accept a Tracer or a raw iterable of TraceEvents."""
+    return tracer.events if hasattr(tracer, "events") else tracer
+
+
+def chrome_trace(
+    tracer: Any,
+    pid: int = 0,
+    process_name: str = "sim",
+) -> Dict[str, Any]:
+    """Convert traced spans into the Chrome trace-event JSON object."""
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    tids: Dict[str, int] = {}
+    for event in _events_of(tracer):
+        tid = tids.get(event.station)
+        if tid is None:
+            tid = tids[event.station] = len(tids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": event.station},
+                }
+            )
+        name = event.label or event.station
+        if event.end_ns > event.start_ns:
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": name,
+                    "cat": "sim",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": event.start_ns / 1e3,  # ns -> us
+                    "dur": (event.end_ns - event.start_ns) / 1e3,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "name": name,
+                    "cat": "sim",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": event.start_ns / 1e3,
+                    "s": "t",  # thread-scoped instant
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+
+
+def merge_chrome_traces(traces: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine per-run chrome traces into one loadable file."""
+    merged: List[Dict[str, Any]] = []
+    for trace in traces:
+        merged.extend(trace["traceEvents"])
+    return {"traceEvents": merged, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    tracer: Any, path: str, pid: int = 0, process_name: str = "sim"
+) -> None:
+    """Write one tracer's spans as a ``chrome://tracing`` JSON file."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer, pid=pid, process_name=process_name), fh)
+        fh.write("\n")
+
+
+def write_jsonl(tracer: Any, path: str, run: Optional[str] = None) -> int:
+    """Write traced spans as JSON lines; returns the line count.
+
+    Each line is one event: ``{"station", "start_ns", "end_ns",
+    "label"}`` plus an optional ``"run"`` tag — the format for ad-hoc
+    post-processing (jq, pandas) where Chrome's envelope is in the way.
+    """
+    n = 0
+    with open(path, "w") as fh:
+        for event in _events_of(tracer):
+            record: Dict[str, Any] = {
+                "station": event.station,
+                "start_ns": event.start_ns,
+                "end_ns": event.end_ns,
+                "label": event.label,
+            }
+            if run is not None:
+                record["run"] = run
+            fh.write(json.dumps(record))
+            fh.write("\n")
+            n += 1
+    return n

@@ -1,0 +1,224 @@
+"""The metrics registry: named counters, gauges, and log-scale histograms.
+
+A registry belongs to one :class:`~repro.sim.engine.Simulator`.  The
+instrumented layers look it up as ``sim.metrics`` (duck-typed, exactly
+like ``sim.tracer``) so that nothing below :mod:`repro.obs` has to
+import this package, and a simulator without a registry pays nothing.
+
+Metric names are dotted paths.  The conventions used by the built-in
+instrumentation:
+
+* ``station.<machine>.<unit>.*`` — every ``FifoServer`` (``pcie.pio``,
+  ``pcie.dma``, ``nic.rx``, ``nic.tx``, port ``tx``): jobs, busy time,
+  utilization, and a queue-delay histogram;
+* ``store.<name>.depth_hwm`` — mailbox depth high-water marks;
+* ``qpcache.<machine>.*`` — context-cache hits/misses/evictions;
+* ``verbs.<machine>.*`` — WQEs posted by verb and transport, inline vs
+  DMA payloads, CQE DMA writes;
+* ``herd.server<i>.*`` / ``herd.client<i>.*`` — op counters, pipeline
+  occupancy, response-latency histograms.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A named point-in-time value (with a high-water-mark helper)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def update_max(self, value: float) -> None:
+        """Keep the largest value seen (depth high-water marks)."""
+        if value > self.value:
+            self.value = value
+
+
+class LogHistogram:
+    """A histogram with power-of-two buckets.
+
+    Bucket ``i`` counts observations in ``(2**(i-1), 2**i]`` (bucket 0
+    holds everything ``<= 1``, including zero).  Log-scale buckets keep
+    the memory cost O(log range) while preserving the shape of heavy
+    tails — queue delays in this simulator span below a nanosecond to
+    tens of microseconds.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("negative observation: %r" % value)
+        index = 0 if value <= 1.0 else math.ceil(math.log2(value))
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (upper bucket bound)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * q / 100.0))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return float(2 ** index)
+        return float(2 ** max(self.buckets))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean(),
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            # upper bound -> count, in ascending bucket order
+            "buckets": [
+                {"le": float(2 ** index), "count": self.buckets[index]}
+                for index in sorted(self.buckets)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metrics for one simulator.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing metric
+    when the name is already registered, so instrumentation points do
+    not need to coordinate.  ``gauge_fn`` registers a callable sampled
+    at :meth:`snapshot` time — used for values that live in existing
+    objects (cache hit counts, utilization) so the hot path is not
+    touched at all.
+    """
+
+    def __init__(self, sim: Optional[Any] = None) -> None:
+        self.sim = sim
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, LogHistogram] = {}
+        self._gauge_fns: Dict[str, Callable[[], float]] = {}
+        self._stations: List[Any] = []
+
+    # -- metric factories ----------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> LogHistogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = LogHistogram(name)
+        return metric
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a pull-style gauge sampled at snapshot time."""
+        self._gauge_fns[name] = fn
+
+    # -- auto-registration hooks (called by the instrumented layers) ---
+
+    def watch_fifo_server(self, server: Any) -> LogHistogram:
+        """Adopt a FifoServer; returns its queue-delay histogram.
+
+        Utilization and job counts are *pulled* from the server at
+        snapshot time, so only the per-job queue delay costs anything
+        while the simulation runs.
+        """
+        self._stations.append(server)
+        return self.histogram("station.%s.queue_delay_ns" % server.name)
+
+    def watch_store(self, store: Any, name: str) -> Gauge:
+        """Adopt a Store; returns its depth high-water-mark gauge."""
+        return self.gauge("store.%s.depth_hwm" % name)
+
+    def watch_qp_cache(self, machine_name: str, cache: Any) -> None:
+        """Sample a QP-context cache's counters at snapshot time."""
+        prefix = "qpcache.%s." % machine_name
+        self.gauge_fn(prefix + "hits", lambda: cache.hits)
+        self.gauge_fn(prefix + "misses", lambda: cache.misses)
+        self.gauge_fn(prefix + "evictions", lambda: cache.evictions)
+        self.gauge_fn(prefix + "hit_rate", cache.hit_rate)
+        self.gauge_fn(prefix + "resident_contexts", lambda: cache.resident_contexts)
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything the registry knows, as one JSON-able dict."""
+        now = float(self.sim.now) if self.sim is not None else 0.0
+        stations: Dict[str, Any] = {}
+        for server in self._stations:
+            elapsed = server.sim.now
+            delay = self.histograms.get("station.%s.queue_delay_ns" % server.name)
+            stations[server.name] = {
+                "jobs": server.jobs,
+                "busy_ns": server.busy_time,
+                "capacity": server.capacity,
+                "utilization": server.utilization(elapsed),
+                "queue_delay_ns": delay.to_dict() if delay is not None else None,
+            }
+        gauges = {name: gauge.value for name, gauge in self.gauges.items()}
+        for name, fn in self._gauge_fns.items():
+            gauges[name] = fn()
+        return {
+            "sim_time_ns": now,
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "gauges": gauges,
+            "histograms": {
+                name: h.to_dict() for name, h in self.histograms.items()
+            },
+            "stations": stations,
+        }
+
+    def dump_json(self, path: str, indent: int = 1) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.snapshot(), fh, indent=indent)
+            fh.write("\n")

@@ -1,0 +1,152 @@
+"""Ambient capture: instrument every simulator created in a scope.
+
+Experiment harnesses build their own :class:`~repro.sim.engine.Simulator`
+internally (one per measurement cell), so the CLI cannot hand them a
+registry directly.  Instead, :func:`capture` installs a creation hook on
+``Simulator``: every simulator constructed inside the ``with`` block
+gets a fresh :class:`~repro.obs.registry.MetricsRegistry` (and,
+optionally, a bounded :class:`~repro.bench.trace.Tracer`), and the
+session keeps them all for export once the experiments finish::
+
+    with capture(trace=True) as session:
+        session.label = "fig9"
+        fig9()
+    session.write_metrics("m.json")
+    session.write_trace("t.json")
+
+Sessions nest safely (the previous hook is restored on exit) and cost
+nothing outside the ``with`` block.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from repro.obs.export import chrome_trace, merge_chrome_traces
+from repro.obs.registry import MetricsRegistry
+from repro.sim.engine import Simulator
+
+#: default trace ring-buffer bound: enough for several full measurement
+#: windows, small enough that an `all`-scale sweep cannot exhaust memory
+DEFAULT_TRACE_EVENTS = 200_000
+
+
+@dataclass
+class _Run:
+    index: int
+    label: str
+    sim: Simulator
+    registry: Optional[MetricsRegistry]
+    tracer: Optional[Any]
+
+
+class ObsSession:
+    """The simulators (and their registries/tracers) seen by a capture."""
+
+    def __init__(
+        self,
+        metrics: bool = True,
+        trace: bool = False,
+        trace_limit: int = DEFAULT_TRACE_EVENTS,
+    ) -> None:
+        self.metrics_enabled = metrics
+        self.trace_enabled = trace
+        self.trace_limit = trace_limit
+        #: set this before running an experiment to tag its simulators
+        self.label = ""
+        self.runs: List[_Run] = []
+
+    # -- the Simulator creation hook -----------------------------------
+
+    def attach(self, sim: Simulator) -> None:
+        registry = None
+        tracer = None
+        if self.metrics_enabled:
+            registry = MetricsRegistry(sim)
+            sim.metrics = registry
+        if self.trace_enabled:
+            from repro.bench.trace import Tracer  # deferred: heavier import
+
+            tracer = Tracer(sim, max_events=self.trace_limit)
+            sim.tracer = tracer
+        self.runs.append(_Run(len(self.runs), self.label, sim, registry, tracer))
+
+    # -- export --------------------------------------------------------
+
+    def metrics_dict(self) -> dict:
+        return {
+            "version": 1,
+            "runs": [
+                dict(
+                    experiment=run.label,
+                    index=run.index,
+                    **run.registry.snapshot(),
+                )
+                for run in self.runs
+                if run.registry is not None
+            ],
+        }
+
+    def trace_dict(self) -> dict:
+        return merge_chrome_traces(
+            chrome_trace(
+                run.tracer,
+                pid=run.index,
+                process_name="%s#%d" % (run.label or "run", run.index),
+            )
+            for run in self.runs
+            if run.tracer is not None
+        )
+
+    def write_metrics(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.metrics_dict(), fh, indent=1)
+            fh.write("\n")
+
+    def write_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.trace_dict(), fh)
+            fh.write("\n")
+
+    def write_trace_jsonl(self, path: str) -> int:
+        """All runs' events as JSON lines; returns the line count."""
+        n = 0
+        with open(path, "w") as fh:
+            for run in self.runs:
+                if run.tracer is None:
+                    continue
+                tag = "%s#%d" % (run.label or "run", run.index)
+                for event in run.tracer.events:
+                    fh.write(
+                        json.dumps(
+                            {
+                                "run": tag,
+                                "station": event.station,
+                                "start_ns": event.start_ns,
+                                "end_ns": event.end_ns,
+                                "label": event.label,
+                            }
+                        )
+                    )
+                    fh.write("\n")
+                    n += 1
+        return n
+
+
+@contextlib.contextmanager
+def capture(
+    metrics: bool = True,
+    trace: bool = False,
+    trace_limit: int = DEFAULT_TRACE_EVENTS,
+) -> Iterator[ObsSession]:
+    """Instrument every Simulator constructed inside the block."""
+    session = ObsSession(metrics=metrics, trace=trace, trace_limit=trace_limit)
+    previous = Simulator._obs_hook
+    Simulator._obs_hook = session.attach
+    try:
+        yield session
+    finally:
+        Simulator._obs_hook = previous

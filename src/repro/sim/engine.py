@@ -126,10 +126,17 @@ class Process(Event):
 class Simulator:
     """The event calendar and simulated clock (nanoseconds)."""
 
+    #: observability creation hook (see :func:`repro.obs.session.capture`):
+    #: when set, called with each new simulator so an ambient capture can
+    #: attach ``sim.metrics`` / ``sim.tracer`` before any resources exist
+    _obs_hook: Optional[Callable[["Simulator"], None]] = None
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
+        if Simulator._obs_hook is not None:
+            Simulator._obs_hook(self)
 
     # -- scheduling -----------------------------------------------------
 
@@ -174,12 +181,24 @@ class Simulator:
         self.now = until
 
     def run_until_idle(self, limit: float = float("inf")) -> None:
-        """Dispatch every pending event (bounded by ``limit``)."""
+        """Dispatch every pending event (bounded by ``limit``).
+
+        With a finite ``limit`` the clock ends at ``limit`` (exactly
+        like :meth:`run`), even when the calendar drains early —
+        otherwise rates and utilizations computed from ``sim.now``
+        after a bounded drain would be silently inflated.
+        """
+        if limit < self.now:
+            raise ValueError(
+                "cannot run backwards: limit=%r < now=%r" % (limit, self.now)
+            )
         heap = self._heap
         while heap and heap[0][0] <= limit:
             time, _seq, event = heapq.heappop(heap)
             self.now = time
             event._dispatch()
+        if limit != float("inf"):
+            self.now = limit
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` when idle)."""

@@ -28,7 +28,7 @@ class FifoServer:
     servers fed from a single FIFO queue.
     """
 
-    __slots__ = ("sim", "name", "capacity", "_free_at", "busy_time", "jobs")
+    __slots__ = ("sim", "name", "capacity", "_free_at", "busy_time", "jobs", "obs")
 
     def __init__(self, sim: Simulator, name: str, capacity: int = 1) -> None:
         if capacity < 1:
@@ -41,6 +41,11 @@ class FifoServer:
         heapq.heapify(self._free_at)
         self.busy_time = 0.0
         self.jobs = 0
+        # Observability (repro.obs): when the simulator carries a
+        # metrics registry, `obs` is this station's queue-delay
+        # histogram; utilization/jobs are pulled at snapshot time.
+        metrics = getattr(sim, "metrics", None)
+        self.obs = None if metrics is None else metrics.watch_fifo_server(self)
 
     def serve(self, service: float, value: Any = None) -> Event:
         """Enqueue a job; the returned event fires at completion."""
@@ -50,6 +55,8 @@ class FifoServer:
         start = heapq.heappop(self._free_at)
         if start < sim.now:
             start = sim.now
+        if self.obs is not None:
+            self.obs.observe(start - sim.now)
         done_at = start + service
         heapq.heappush(self._free_at, done_at)
         self.busy_time += service
@@ -83,12 +90,26 @@ class Store:
     queues, and inter-process handoff.
     """
 
-    __slots__ = ("sim", "_items", "_getters")
+    __slots__ = ("sim", "name", "_items", "_getters", "obs")
 
-    def __init__(self, sim: Simulator) -> None:
+    #: fallback numbering for anonymous stores, per registry-less process
+    _anon = 0
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
+        metrics = getattr(sim, "metrics", None)
+        if metrics is None:
+            self.name = name
+            self.obs = None
+        else:
+            if not name:
+                Store._anon += 1
+                name = "store%d" % Store._anon
+            self.name = name
+            # depth high-water mark: how far this mailbox backed up
+            self.obs = metrics.watch_store(self, name)
 
     def put(self, item: Any) -> None:
         """Deposit ``item``, waking the oldest waiting getter if any."""
@@ -96,6 +117,8 @@ class Store:
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
+            if self.obs is not None:
+                self.obs.update_max(len(self._items))
 
     def get(self) -> Event:
         """An event firing with the next item."""

@@ -14,7 +14,12 @@ import numpy as np
 
 
 class LatencyRecorder:
-    """Collects per-operation latencies (ns) inside a measurement window."""
+    """Collects per-operation latencies (ns) inside a measurement window.
+
+    The window is half-open, ``[window_start, window_end)``: an op
+    completing exactly at a boundary belongs to the window *starting*
+    there, so adjacent windows never double-count it.
+    """
 
     def __init__(self, window_start: float = 0.0, window_end: float = float("inf")) -> None:
         self.window_start = window_start
@@ -23,7 +28,7 @@ class LatencyRecorder:
 
     def record(self, completed_at: float, latency: float) -> None:
         """Record ``latency`` if the op completed inside the window."""
-        if self.window_start <= completed_at <= self.window_end:
+        if self.window_start <= completed_at < self.window_end:
             self.samples.append(latency)
 
     @property
@@ -57,7 +62,12 @@ class LatencyRecorder:
 
 
 class RateMeter:
-    """Counts operations completed inside ``[window_start, window_end]``."""
+    """Counts operations completed inside ``[window_start, window_end)``.
+
+    Half-open like :class:`LatencyRecorder`: a completion exactly at
+    ``window_end`` is *not* counted, so back-to-back windows partition
+    time without double counting.
+    """
 
     def __init__(self, window_start: float = 0.0, window_end: float = float("inf")) -> None:
         self.window_start = window_start
@@ -68,7 +78,7 @@ class RateMeter:
     def record(self, completed_at: float, n: int = 1) -> None:
         """Count ``n`` completions at simulated time ``completed_at``."""
         self.total += n
-        if self.window_start <= completed_at <= self.window_end:
+        if self.window_start <= completed_at < self.window_end:
             self.count += n
 
     def mops(self, window_end: Optional[float] = None) -> float:
@@ -76,8 +86,15 @@ class RateMeter:
 
         ``window_end`` overrides the configured end when the experiment
         stopped early (e.g. the simulator was run to a shorter horizon).
+        A rate over an unbounded window is meaningless (it used to
+        silently come out as 0.0), so that raises instead.
         """
         end = self.window_end if window_end is None else window_end
+        if end == float("inf"):
+            raise ValueError(
+                "RateMeter window is unbounded: construct with a finite "
+                "window_end or pass one to mops()"
+            )
         elapsed_ns = end - self.window_start
         if elapsed_ns <= 0:
             return 0.0

@@ -20,7 +20,7 @@ class CompletionQueue:
     def __init__(self, sim: Simulator, name: str = "cq") -> None:
         self.sim = sim
         self.name = name
-        self._store = Store(sim)
+        self._store = Store(sim, name)
         self.pushed = 0
 
     def push(self, cqe: Cqe) -> None:

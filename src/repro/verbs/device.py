@@ -69,6 +69,9 @@ class RdmaDevice:
         self.reads_served = 0
         self.acks_received = 0
         self.retransmits = 0
+        # Observability (repro.obs): semantic verbs counters, None when
+        # the simulator carries no metrics registry.
+        self.metrics = getattr(self.sim, "metrics", None)
 
     # ------------------------------------------------------------------
     # Setup
@@ -135,6 +138,15 @@ class RdmaDevice:
             qp.pending_reads.append(wr)
             return self.sim.timeout(0.0)
         qp.sends_posted += 1
+        if self.metrics is not None:
+            prefix = "verbs.%s." % self.machine.name
+            self.metrics.counter(
+                prefix + "wqe.%s.%s" % (wr.opcode.value, qp.transport.value)
+            ).inc()
+            if wr.opcode is not Opcode.READ:
+                self.metrics.counter(
+                    prefix + ("payload.inline" if wr.inline else "payload.dma")
+                ).inc()
         pio_done = self.machine.pcie.pio_write(self._wqe_bytes(qp, wr))
         pio_done.add_callback(lambda _e: self._egress(qp, wr))
         return pio_done
@@ -253,6 +265,8 @@ class RdmaDevice:
             # Zero-copy: the bytes leave host memory at DMA-fetch time.
             mr, offset, length = wr.local
             payload = mr.read(offset, length)
+            if wr.on_fetched is not None:
+                wr.on_fetched()
         kind = {
             Opcode.WRITE: PacketKind.WRITE,
             Opcode.SEND: PacketKind.SEND,
@@ -477,6 +491,10 @@ class RdmaDevice:
 
     def _push_cqe(self, cq: CompletionQueue, cqe: Cqe) -> None:
         """DMA-write a CQE into host memory, then make it pollable."""
+        if self.metrics is not None:
+            # CQE DMAs steal PCIe capacity from payload DMA — the cost
+            # selective signaling avoids; count them so that shows up.
+            self.metrics.counter("verbs.%s.cqe_dma" % self.machine.name).inc()
         landed = self.machine.pcie.dma_write(32)
         tracer = getattr(self.sim, "tracer", None)
         if tracer is not None:

@@ -116,6 +116,11 @@ class WorkRequest:
     ah: Optional[Tuple[str, int]] = None
     #: bookkeeping the application may attach (e.g. timestamps)
     context: object = field(default=None, repr=False)
+    #: called once the NIC's DMA read has snapshotted a non-inlined
+    #: payload out of host memory — from then on the local buffer may
+    #: be reused (true zero-copy semantics; HERD's staging buffer
+    #: recycles extents off this)
+    on_fetched: Optional[object] = field(default=None, repr=False, compare=False)
 
     # -- constructors -----------------------------------------------------
 

@@ -1,0 +1,88 @@
+"""Regression tests: the server's response staging buffer.
+
+Un-inlined responses are DMA-read out of a 64 KiB staging MR by the
+NIC *after* ``post_send`` returns, and the sends are unsignaled — no
+CQE ever says "fetched".  The cursor used to wrap blindly, silently
+overwriting payloads still awaiting their DMA fetch.  Now the server
+tracks in-flight extents, retires them from the NIC's fetch callback,
+and raises a clear error instead of corrupting a response.
+"""
+
+import pytest
+
+from repro.herd import HerdCluster, HerdConfig
+from repro.herd.region import RequestRegion
+from repro.herd.server import _STAGING_BYTES, HerdServerProcess
+from repro.hw import APT, Fabric, Machine
+from repro.sim import Simulator
+from repro.verbs import RdmaDevice, RecvRequest, Transport
+from repro.workloads import Workload
+
+
+def make_server():
+    sim = Simulator()
+    fabric = Fabric(sim, APT)
+    server_dev = RdmaDevice(Machine(sim, fabric, "server"))
+    client_dev = RdmaDevice(Machine(sim, fabric, "cm0"))
+    client_qp = client_dev.create_qp(Transport.UD)
+    inbox = client_dev.register_memory(4096)
+    client_dev.post_recv(client_qp, RecvRequest(wr_id=0, local=(inbox, 0, 4096)))
+    config = HerdConfig(n_server_processes=1, window=4)
+    region = RequestRegion(sim, server_dev, config, n_clients=1)
+    proc = HerdServerProcess(
+        0, server_dev, region, config, [("cm0", client_qp.qpn)]
+    )
+    return sim, proc
+
+
+def test_wrap_into_inflight_extent_raises():
+    """Pre-fix, the wrapped cursor silently reused offset 0 while the
+    first response was still awaiting its DMA fetch."""
+    _sim, proc = make_server()
+    proc._stage(b"a" * 40_000)
+    with pytest.raises(RuntimeError, match="staging buffer exhausted"):
+        proc._stage(b"b" * 40_000)
+
+
+def test_oversize_payload_raises_value_error():
+    _sim, proc = make_server()
+    with pytest.raises(ValueError, match="exceeds the %d B staging" % _STAGING_BYTES):
+        proc._stage(b"x" * (_STAGING_BYTES + 1))
+
+
+def test_retired_extent_can_be_reused():
+    _sim, proc = make_server()
+    offset = proc._stage(b"a" * 40_000)
+    assert proc._staging_inflight == [(0, 40_000)]
+    proc._staging_inflight.remove((offset, offset + 40_000))  # NIC fetched it
+    assert proc._stage(b"b" * 40_000) == 0  # wraps onto the freed extent
+
+
+def test_dma_fetch_releases_extent_end_to_end():
+    """An un-inlined response's extent retires once the NIC snapshots
+    the payload — without any CQE (the send is unsignaled)."""
+    sim, proc = make_server()
+    payload = b"v" * 300  # above the 144 B inline cutoff
+    sim.process(proc._respond(0, payload))
+    sim.run_until_idle()
+    assert proc._staging_inflight == []
+    assert proc._staging.read(0, 300) == payload
+
+
+def test_cluster_with_large_values_wraps_and_releases():
+    """A sustained run of >144 B values cycles the staging ring many
+    times over; every extent must retire and no send may fail."""
+    cluster = HerdCluster(
+        HerdConfig(n_server_processes=2, window=2),
+        n_client_machines=2,
+        seed=7,
+    )
+    cluster.add_clients(
+        4, Workload(get_fraction=0.5, value_size=900, n_keys=256)
+    )
+    cluster.preload(range(256), 900)
+    result = cluster.run(warmup_ns=0, measure_ns=200_000)
+    assert result.ops > 100
+    assert sum(c.failures for c in cluster.clients) == 0
+    for server in cluster.servers:
+        assert server._staging_inflight == []

@@ -1,0 +1,150 @@
+"""Trace exporters (Chrome trace JSON, JSONL), ring buffer, capture."""
+
+import json
+
+from repro.bench.trace import Tracer
+from repro.obs import capture, chrome_trace, write_chrome_trace, write_jsonl
+from repro.sim import FifoServer, Simulator
+
+
+def make_tracer():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.span("alpha", 1000.0, 3000.0, "work")
+    tracer.mark("beta", "tick")
+    return tracer
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+
+def test_chrome_trace_schema():
+    trace = chrome_trace(make_tracer(), pid=3, process_name="run3")
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    events = trace["traceEvents"]
+    for event in events:
+        assert {"ph", "name", "pid", "tid"} <= set(event)
+        assert event["pid"] == 3
+    # metadata names the process and each station-thread
+    metas = [e for e in events if e["ph"] == "M"]
+    assert metas[0]["args"]["name"] == "run3"
+    thread_names = {e["args"]["name"] for e in metas[1:]}
+    assert thread_names == {"alpha", "beta"}
+
+
+def test_chrome_trace_span_is_complete_event_in_microseconds():
+    trace = chrome_trace(make_tracer())
+    span = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+    assert span["ts"] == 1.0  # 1000 ns
+    assert span["dur"] == 2.0  # 2000 ns
+    assert span["name"] == "work"
+
+
+def test_chrome_trace_mark_is_instant_event():
+    trace = chrome_trace(make_tracer())
+    instant = next(e for e in trace["traceEvents"] if e["ph"] == "i")
+    assert instant["s"] == "t"
+    assert "dur" not in instant
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    path = tmp_path / "t.json"
+    write_chrome_trace(make_tracer(), str(path))
+    loaded = json.loads(path.read_text())
+    assert isinstance(loaded["traceEvents"], list)
+
+
+def test_write_jsonl(tmp_path):
+    path = tmp_path / "t.jsonl"
+    n = write_jsonl(make_tracer(), str(path), run="r0")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert n == len(lines) == 2
+    assert lines[0] == {
+        "station": "alpha",
+        "start_ns": 1000.0,
+        "end_ns": 3000.0,
+        "label": "work",
+        "run": "r0",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ring-buffer tracer mode
+# ---------------------------------------------------------------------------
+
+
+def test_tracer_ring_buffer_keeps_most_recent():
+    sim = Simulator()
+    tracer = Tracer(sim, max_events=10)
+    for i in range(25):
+        tracer.span("s", float(i), float(i) + 1.0)
+    assert len(tracer.events) == 10
+    assert tracer.events[0].start_ns == 15.0
+    assert tracer.events[-1].start_ns == 24.0
+
+
+def test_unbounded_tracer_unchanged():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    for i in range(25):
+        tracer.span("s", float(i), float(i) + 1.0)
+    assert len(tracer.events) == 25
+
+
+# ---------------------------------------------------------------------------
+# Ambient capture sessions
+# ---------------------------------------------------------------------------
+
+
+def test_capture_instruments_simulators_inside_scope():
+    with capture(trace=True) as session:
+        session.label = "expA"
+        sim = Simulator()
+        server = FifoServer(sim, "unit")
+        server.serve(5.0)
+        sim.run_until_idle()
+    outside = Simulator()
+    assert not hasattr(outside, "metrics")
+    assert not hasattr(outside, "tracer")
+    assert len(session.runs) == 1
+    run = session.runs[0]
+    assert run.label == "expA"
+    assert run.registry.snapshot()["stations"]["unit"]["jobs"] == 1
+    assert len(run.tracer.events) == 1
+
+
+def test_capture_exports_metrics_and_trace_dicts():
+    with capture(trace=True) as session:
+        session.label = "expB"
+        sim = Simulator()
+        FifoServer(sim, "unit").serve(5.0)
+        sim.run_until_idle()
+    metrics = session.metrics_dict()
+    assert metrics["version"] == 1
+    assert metrics["runs"][0]["experiment"] == "expB"
+    assert "unit" in metrics["runs"][0]["stations"]
+    trace = session.trace_dict()
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+
+def test_capture_nests_and_restores_previous_hook():
+    with capture() as outer:
+        Simulator()
+        with capture() as inner:
+            Simulator()
+        Simulator()
+    assert len(outer.runs) == 2
+    assert len(inner.runs) == 1
+    assert Simulator._obs_hook is None
+
+
+def test_capture_trace_ring_limit_applies():
+    with capture(trace=True, trace_limit=3) as session:
+        sim = Simulator()
+        server = FifoServer(sim, "unit")
+        for _ in range(9):
+            server.serve(1.0)
+        sim.run_until_idle()
+    assert len(session.runs[0].tracer.events) == 3

@@ -1,0 +1,118 @@
+"""Unit tests for the metrics registry (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import Counter, Gauge, LogHistogram
+from repro.sim import FifoServer, Simulator, Store
+
+
+def test_counter_increments():
+    c = Counter("c")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_gauge_set_and_high_water():
+    g = Gauge("g")
+    g.set(3.0)
+    g.update_max(1.0)
+    assert g.value == 3.0
+    g.update_max(7.0)
+    assert g.value == 7.0
+
+
+def test_histogram_log_buckets():
+    h = LogHistogram("h")
+    for value in (0.0, 1.0, 2.0, 3.0, 1000.0):
+        h.observe(value)
+    d = h.to_dict()
+    assert d["count"] == 5
+    assert d["min"] == 0.0 and d["max"] == 1000.0
+    bounds = [b["le"] for b in d["buckets"]]
+    assert bounds == sorted(bounds)
+    # 0 and 1 share the <=1 bucket; 2 is exactly 2^1; 3 rounds up to 4;
+    # 1000 rounds up to 1024
+    by_bound = {b["le"]: b["count"] for b in d["buckets"]}
+    assert by_bound[1.0] == 2
+    assert by_bound[2.0] == 1
+    assert by_bound[4.0] == 1
+    assert by_bound[1024.0] == 1
+
+
+def test_histogram_percentile_upper_bound():
+    h = LogHistogram("h")
+    for _ in range(99):
+        h.observe(2.0)
+    h.observe(1024.0)
+    assert h.percentile(50) == 2.0
+    assert h.percentile(100) == 1024.0
+
+
+def test_histogram_rejects_negative():
+    with pytest.raises(ValueError):
+        LogHistogram("h").observe(-1.0)
+
+
+def test_registry_get_or_create():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+
+
+def test_gauge_fn_sampled_at_snapshot():
+    registry = MetricsRegistry()
+    box = {"v": 1}
+    registry.gauge_fn("boxed", lambda: box["v"])
+    box["v"] = 42
+    assert registry.snapshot()["gauges"]["boxed"] == 42
+
+
+def test_fifo_server_auto_registers_and_reports():
+    sim = Simulator()
+    sim.metrics = MetricsRegistry(sim)
+    server = FifoServer(sim, "unit")
+    server.serve(10.0)
+    server.serve(10.0)  # queues behind the first: 10 ns delay
+    sim.run_until_idle()
+    snap = sim.metrics.snapshot()
+    station = snap["stations"]["unit"]
+    assert station["jobs"] == 2
+    assert station["utilization"] == pytest.approx(1.0)
+    delay = station["queue_delay_ns"]
+    assert delay["count"] == 2
+    assert delay["max"] == 10.0
+
+
+def test_store_depth_high_water_mark():
+    sim = Simulator()
+    sim.metrics = MetricsRegistry(sim)
+    store = Store(sim, "mailbox")
+    for i in range(5):
+        store.put(i)
+    store.try_get()
+    store.put(99)  # depth 5 again, hwm stays 5
+    assert sim.metrics.snapshot()["gauges"]["store.mailbox.depth_hwm"] == 5
+
+
+def test_uninstrumented_simulator_pays_nothing():
+    sim = Simulator()
+    server = FifoServer(sim, "unit")
+    store = Store(sim)
+    assert server.obs is None
+    assert store.obs is None
+
+
+def test_dump_json_round_trips(tmp_path):
+    sim = Simulator()
+    sim.metrics = MetricsRegistry(sim)
+    sim.metrics.counter("ops").inc(7)
+    path = tmp_path / "m.json"
+    sim.metrics.dump_json(str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["counters"]["ops"] == 7
+    assert set(loaded) >= {"sim_time_ns", "counters", "gauges", "histograms", "stations"}

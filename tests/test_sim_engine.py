@@ -183,3 +183,34 @@ def test_many_processes_interleave_deterministically():
         return log
 
     assert run_once() == run_once()
+
+
+def test_bounded_run_until_idle_advances_clock_to_limit():
+    """Pre-fix the clock stopped at the last event, so back-to-back
+    bounded drains drifted earlier than the requested horizon."""
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run_until_idle(limit=100.0)
+    assert sim.now == 100.0
+
+
+def test_bounded_run_until_idle_with_no_events_still_advances():
+    sim = Simulator()
+    sim.run_until_idle(limit=50.0)
+    assert sim.now == 50.0
+
+
+def test_unbounded_run_until_idle_ends_at_last_event():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.timeout(25.0)
+    sim.run_until_idle()
+    assert sim.now == 25.0
+
+
+def test_run_until_idle_rejects_backwards_limit():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run_until_idle()
+    with pytest.raises(ValueError):
+        sim.run_until_idle(limit=5.0)

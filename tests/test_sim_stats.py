@@ -63,3 +63,31 @@ def test_rate_meter_override_end():
     for _ in range(500):
         meter.record(10.0)
     assert meter.mops(window_end=1e3) == pytest.approx(500.0)
+
+
+def test_rate_meter_windows_are_half_open():
+    """An op completing exactly at a window boundary belongs to the
+    *next* window — adjacent meters must not both count it."""
+    first = RateMeter(window_start=0.0, window_end=100.0)
+    second = RateMeter(window_start=100.0, window_end=200.0)
+    for meter in (first, second):
+        meter.record(100.0)
+    assert first.count == 0
+    assert second.count == 1
+
+
+def test_latency_recorder_window_is_half_open():
+    rec = LatencyRecorder(window_start=100.0, window_end=200.0)
+    rec.record(100.0, 1.0)  # start boundary: included
+    rec.record(200.0, 2.0)  # end boundary: excluded
+    assert rec.count == 1
+    assert rec.mean() == 1.0
+
+
+def test_rate_meter_unbounded_window_raises():
+    """mops() used to silently return 0.0 when the window never
+    closed — a measurement bug that looked like zero throughput."""
+    meter = RateMeter(window_start=0.0, window_end=float("inf"))
+    meter.record(10.0)
+    with pytest.raises(ValueError, match="unbounded"):
+        meter.mops()
