@@ -1,6 +1,6 @@
 # Convenience targets for the HERD reproduction.
 
-.PHONY: install test bench figures figures-full examples metrics-smoke clean
+.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -33,6 +33,20 @@ metrics-smoke:
 		assert any(e['ph'] == 'X' for e in t['traceEvents']), 'no trace spans'; \
 		print('metrics-smoke ok: %d runs, %d trace events' \
 		% (len(m['runs']), len(t['traceEvents'])))"
+
+# Two seeded chaos runs (loss + corruption + duplication + reordering +
+# NIC stall + RNR + one server crash); the harness exits non-zero if any
+# safety invariant is violated, and the same seed twice must yield the
+# same fingerprint (checked inside the test suite too).
+chaos-smoke:
+	python -m repro.bench.cli --chaos --chaos-seed 7 --chaos-runs 2 \
+		--metrics /tmp/herd-chaos-metrics.json
+	python -c "import json; m = json.load(open('/tmp/herd-chaos-metrics.json')); \
+		counters = [k for r in m['runs'] for k in r.get('counters', {}) \
+		if k.startswith('faults.')]; \
+		assert counters, 'no faults.* counters exported'; \
+		print('chaos-smoke ok: %d runs, %d fault counters' \
+		% (len(m['runs']), len(counters)))"
 
 clean:
 	rm -rf benchmarks/out .pytest_cache .hypothesis

@@ -7,6 +7,7 @@ Examples::
     herd-bench fig5 fig6 --scale full
     herd-bench all --scale bench
     herd-bench fig9 --metrics m.json --trace t.trace.json
+    herd-bench --chaos --chaos-seed 7 --chaos-runs 3 --metrics m.json
 """
 
 from __future__ import annotations
@@ -43,6 +44,56 @@ def resolve_experiments(requested: List[str]) -> List[str]:
             if item not in resolved:
                 resolved.append(item)
     return resolved
+
+
+def _run_chaos(args) -> int:
+    """``herd-bench --chaos``: seeded chaos runs with invariant checks."""
+    from repro.faults import run_chaos
+
+    session = None
+    failures = 0
+    with contextlib.ExitStack() as stack:
+        if args.metrics or args.trace:
+            from repro.obs import session as obs
+
+            session = stack.enter_context(
+                obs.capture(
+                    metrics=args.metrics is not None,
+                    trace=args.trace is not None,
+                    trace_limit=args.trace_limit or obs.DEFAULT_TRACE_EVENTS,
+                )
+            )
+        for i in range(args.chaos_runs):
+            seed = args.chaos_seed + i
+            if session is not None:
+                session.label = "chaos-%d" % seed
+            started = time.time()
+            report = run_chaos(
+                seed=seed,
+                horizon_ns=args.chaos_horizon,
+                intensity=args.chaos_intensity,
+            )
+            print(report.summary())
+            print("[chaos seed=%d took %.1f s]\n" % (seed, time.time() - started))
+            if not report.ok:
+                failures += 1
+    if session is not None:
+        if args.metrics:
+            session.write_metrics(args.metrics)
+            print("metrics: %s (%d runs)" % (args.metrics, len(session.runs)))
+        if args.trace:
+            if args.trace.endswith(".jsonl"):
+                session.write_trace_jsonl(args.trace)
+            else:
+                session.write_trace(args.trace)
+            print("trace: %s" % args.trace)
+    if failures:
+        print(
+            "%d of %d chaos runs violated invariants" % (failures, args.chaos_runs),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -88,7 +139,46 @@ def main(argv=None) -> int:
         help="bound each run's trace ring buffer to the last N events",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the fault-injection chaos harness instead of an "
+        "experiment: a randomized (but seeded) mix of loss, corruption, "
+        "duplication, reordering, NIC stalls, RNR, and a server-process "
+        "crash, with end-to-end safety invariants checked afterwards",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="base seed for the chaos runs (default 0)",
+    )
+    parser.add_argument(
+        "--chaos-runs",
+        type=int,
+        default=1,
+        metavar="K",
+        help="number of chaos runs, seeded N, N+1, ... (default 1)",
+    )
+    parser.add_argument(
+        "--chaos-horizon",
+        type=float,
+        default=300_000.0,
+        metavar="NS",
+        help="fault horizon per run in simulated ns (default 300000)",
+    )
+    parser.add_argument(
+        "--chaos-intensity",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="scale factor on the randomized fault rates (default 1.0)",
+    )
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        return _run_chaos(args)
 
     if args.list or not args.experiments:
         print("tables:  " + "  ".join(sorted(TABLES)))

@@ -1,0 +1,33 @@
+"""Fault injection for the simulated cluster (the chaos layer).
+
+``FaultPlan`` declares *what* goes wrong (seeded, deterministic);
+``FaultInjector`` makes it happen on a live fabric/cluster;
+``run_chaos`` wraps a whole HERD run in a randomized plan and checks
+the safety invariants behind the paper's reliability argument
+(Section 2.2.3).  ``repro.faults.rng`` provides the named child RNG
+streams everything here draws from.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.rng import child_rng, derive_seed
+
+
+def __getattr__(name):
+    # The chaos harness sits above repro.herd, which itself draws its
+    # RNG streams from repro.faults.rng — resolve it lazily so both
+    # import orders work.
+    if name in ("ChaosReport", "run_chaos"):
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+__all__ = [
+    "ChaosReport",
+    "FaultInjector",
+    "FaultPlan",
+    "child_rng",
+    "derive_seed",
+    "run_chaos",
+]

@@ -1,0 +1,294 @@
+"""The chaos harness: a HERD cluster under a randomized fault plan.
+
+A chaos run builds a small cluster, preloads every key, installs a
+seeded :class:`~repro.faults.plan.FaultPlan` (randomized by default),
+runs it through a *fault horizon*, then turns the faults off and lets
+the clients drain their windows.  Afterwards it checks the paper's
+safety argument end to end (Section 2.2.3: unreliable transports are
+fine because loss is rare and the application retries):
+
+* **liveness** — every client window drains: nothing stays outstanding
+  or parked once the faults stop;
+* **no lost acks** — per client, ``completed == issued - abandoned``,
+  and window-slot accounting closes (free + quarantined = W per
+  partition);
+* **no wrong answers** — every successful GET returns exactly the
+  deterministic ``value_for(item)`` bytes, and no preloaded key is
+  missing (GETs never miss);
+* **no duplicate side effects** — after all retries, duplicates, and a
+  crash/recovery re-execution, every store entry still holds exactly
+  ``value_for(item)`` (HERD PUTs are idempotent; a corrupted or
+  double-applied PUT would leave different bytes);
+* **monotonic clock** — completion timestamps never run backwards;
+* **reproducibility** — the report carries a fingerprint hashed over
+  every completion record and counter; two runs with the same seed
+  must produce identical fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.herd.cluster import HerdCluster
+from repro.herd.config import HerdConfig, partition_of
+from repro.workloads.ycsb import OpType, Workload, keyhash, value_for
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    seed: int
+    plan: str
+    sim_ns: float
+    issued: int
+    completed: int
+    abandoned: int
+    retries: int
+    duplicate_responses: int
+    late_responses: int
+    get_misses: int
+    server_crashes: int
+    server_recoveries: int
+    recovered_slots: int
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+    fingerprint: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            "chaos seed=%d: %s" % (self.seed, "OK" if self.ok else "FAILED"),
+            "  %d issued, %d completed, %d abandoned in %.0f ns"
+            % (self.issued, self.completed, self.abandoned, self.sim_ns),
+            "  %d retries, %d duplicate responses, %d late responses"
+            % (self.retries, self.duplicate_responses, self.late_responses),
+            "  %d crashes, %d recoveries (%d slots re-scanned live)"
+            % (self.server_crashes, self.server_recoveries, self.recovered_slots),
+            "  faults: %s"
+            % (
+                ", ".join(
+                    "%s=%d" % kv for kv in sorted(self.fault_counts.items())
+                )
+                or "none fired"
+            ),
+            "  fingerprint %s" % self.fingerprint[:16],
+        ]
+        for violation in self.violations:
+            lines.append("  VIOLATION: %s" % violation)
+        return "\n".join(lines)
+
+
+def run_chaos(
+    seed: int = 0,
+    horizon_ns: float = 300_000.0,
+    drain_ns: float = 5_000_000.0,
+    n_clients: int = 8,
+    n_items: int = 256,
+    value_size: int = 32,
+    get_fraction: float = 0.5,
+    intensity: float = 1.0,
+    crash: bool = True,
+    plan: Optional[FaultPlan] = None,
+    config: Optional[HerdConfig] = None,
+) -> ChaosReport:
+    """One seeded chaos run; see the module docstring for the checks.
+
+    ``plan=None`` uses :meth:`FaultPlan.randomized` (clamped to the
+    horizon so the drain phase is fault-free).  The retry budget must be
+    unlimited for the drain-liveness invariant to be checkable — pass a
+    custom ``config`` to experiment with budgets, at the cost of
+    abandoned ops being excluded from the accounting identity only.
+    """
+    if config is None:
+        config = HerdConfig(
+            n_server_processes=4,
+            window=4,
+            retry_timeout_ns=30_000.0,
+            adaptive_retry=True,
+            min_retry_timeout_ns=15_000.0,
+        )
+    if config.retry_timeout_ns is None:
+        raise ValueError("chaos needs retries enabled (retry_timeout_ns)")
+    cluster = HerdCluster(config=config, n_client_machines=4, seed=seed)
+    workload = Workload(
+        get_fraction=get_fraction, value_size=value_size, n_keys=n_items
+    )
+    cluster.add_clients(n_clients, workload)
+    cluster.wire()
+    cluster.preload(range(n_items), value_size)
+    if plan is None:
+        plan = FaultPlan.randomized(
+            seed,
+            horizon_ns,
+            n_server_processes=config.n_server_processes,
+            intensity=intensity,
+            crash=crash,
+            rnr_machine=cluster.client_devices[0].machine.name,
+        )
+    plan = plan.clamped(horizon_ns)
+    injector = cluster.install_faults(plan)
+    sim = cluster.sim
+
+    # Completion records feed both the invariant checks and the
+    # reproducibility fingerprint.
+    records: List[str] = []
+    violations: List[str] = []
+    last_now = [0.0]
+
+    def make_hook(client_id: int):
+        def hook(op, success, value, now):
+            if now < last_now[0]:
+                violations.append(
+                    "completion clock ran backwards (%.3f after %.3f)"
+                    % (now, last_now[0])
+                )
+            last_now[0] = now
+            if op.op is OpType.GET:
+                if not success:
+                    violations.append(
+                        "GET miss for preloaded item %d (client %d)"
+                        % (op.item, client_id)
+                    )
+                elif value != value_for(op.item, value_size):
+                    violations.append(
+                        "GET returned wrong bytes for item %d (client %d)"
+                        % (op.item, client_id)
+                    )
+            elif not success:
+                violations.append(
+                    "PUT failed for item %d (client %d)" % (op.item, client_id)
+                )
+            records.append(
+                "c%d %s %d %d %.3f"
+                % (client_id, op.op.value, op.item, int(success), now)
+            )
+
+        return hook
+
+    for client in cluster.clients:
+        client.payload_hook = make_hook(client.client_id)
+        client.stop_after = horizon_ns
+        client.start()
+    for server in cluster.servers:
+        server.start()
+    sim.call_in(horizon_ns, injector.deactivate)
+
+    sim.run(until=horizon_ns)
+
+    def drained() -> bool:
+        return all(
+            client.outstanding == 0 and not any(client._parked)
+            for client in cluster.clients
+        )
+
+    deadline = horizon_ns + drain_ns
+    while sim.now < deadline and not drained():
+        sim.run(until=min(sim.now + 100_000.0, deadline))
+
+    # -- invariants --------------------------------------------------------
+    if not drained():
+        for client in cluster.clients:
+            if client.outstanding or any(client._parked):
+                violations.append(
+                    "client %d failed to drain: %d outstanding, %d parked"
+                    % (
+                        client.client_id,
+                        client.outstanding,
+                        sum(len(q) for q in client._parked),
+                    )
+                )
+    for client in cluster.clients:
+        if client.completed != client.issued - client.outstanding - client.abandoned:
+            violations.append(
+                "client %d accounting broken: issued=%d completed=%d "
+                "outstanding=%d abandoned=%d"
+                % (
+                    client.client_id,
+                    client.issued,
+                    client.completed,
+                    client.outstanding,
+                    client.abandoned,
+                )
+            )
+        if client.failures:
+            violations.append(
+                "client %d saw %d failed responses"
+                % (client.client_id, client.failures)
+            )
+        if client.outstanding == 0:
+            for server in range(config.n_server_processes):
+                closed = len(client._slot_free[server]) + len(
+                    client._quarantined[server]
+                )
+                if closed != config.window:
+                    violations.append(
+                        "client %d slot accounting leaked at server %d: "
+                        "%d free + quarantined of %d"
+                        % (client.client_id, server, closed, config.window)
+                    )
+    for item in range(n_items):
+        kh = keyhash(item)
+        server = cluster.servers[partition_of(kh, config.n_server_processes)]
+        stored = server.store.get(kh)
+        if stored != value_for(item, value_size):
+            violations.append(
+                "store divergence for item %d on server %d"
+                % (item, server.index)
+            )
+    expected_crashes = sum(1 for c in plan.crashes if c.at_ns < horizon_ns)
+    total_crashes = sum(s.crashes for s in cluster.servers)
+    total_recoveries = sum(s.recoveries for s in cluster.servers)
+    if total_crashes != expected_crashes or total_recoveries != expected_crashes:
+        violations.append(
+            "crash/recovery mismatch: planned %d, crashed %d, recovered %d"
+            % (expected_crashes, total_crashes, total_recoveries)
+        )
+
+    # -- fingerprint -------------------------------------------------------
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(record.encode())
+        digest.update(b"\n")
+    for name, count in sorted(injector.counts.items()):
+        digest.update(("%s=%d\n" % (name, count)).encode())
+    for client in cluster.clients:
+        digest.update(
+            (
+                "c%d issued=%d completed=%d retries=%d dup=%d late=%d abandoned=%d\n"
+                % (
+                    client.client_id,
+                    client.issued,
+                    client.completed,
+                    client.retries,
+                    client.duplicate_responses,
+                    client.late_responses,
+                    client.abandoned,
+                )
+            ).encode()
+        )
+
+    return ChaosReport(
+        seed=seed,
+        plan=plan.describe(),
+        sim_ns=sim.now,
+        issued=sum(c.issued for c in cluster.clients),
+        completed=sum(c.completed for c in cluster.clients),
+        abandoned=sum(c.abandoned for c in cluster.clients),
+        retries=sum(c.retries for c in cluster.clients),
+        duplicate_responses=sum(c.duplicate_responses for c in cluster.clients),
+        late_responses=sum(c.late_responses for c in cluster.clients),
+        get_misses=sum(c.get_misses for c in cluster.clients),
+        server_crashes=total_crashes,
+        server_recoveries=total_recoveries,
+        recovered_slots=sum(s.recovered_slots for s in cluster.servers),
+        fault_counts=dict(injector.counts),
+        violations=violations,
+        fingerprint=digest.hexdigest(),
+    )

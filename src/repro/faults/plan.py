@@ -1,0 +1,481 @@
+"""The ``FaultPlan`` DSL: a deterministic, seeded description of faults.
+
+A plan is a declarative list of fault rules built with chained calls::
+
+    plan = (
+        FaultPlan(seed=7)
+        .drop(dst="server", rate=0.02)
+        .corrupt(rate=0.01)
+        .duplicate(src="server", rate=0.005)
+        .reorder(rate=0.01, jitter_ns=3_000)
+        .nic_stall("server", engine="ingress", at_ns=50_000, duration_ns=5_000)
+        .crash_server(0, at_ns=100_000, down_ns=60_000)
+        .flap_link("cm1", at_ns=200_000, down_ns=10_000)
+    )
+    injector = plan.install(cluster)
+
+Nothing happens until :meth:`FaultPlan.install` hands the plan to a
+:class:`~repro.faults.injector.FaultInjector`, which attaches hooks to
+the fabric / devices / server processes and schedules the timed faults.
+All randomness (which packet a ``rate`` rule hits) comes from named
+child streams of the plan seed (:mod:`repro.faults.rng`), so a plan is
+byte-for-byte reproducible and independent of workload RNGs.
+
+Section 2.2.3 grounding: the paper's only loss source is bit errors
+(``corrupt``/``drop``); everything else here models the hardware
+failures ("occur rarely") that the paper's retry argument must also
+survive — engine hiccups, QPs falling into the error state, RECV-ring
+exhaustion, process crashes, and link flaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.faults.rng import child_rng
+
+_INF = math.inf
+
+#: link-rule kinds
+DROP = "drop"
+CORRUPT = "corrupt"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+REORDER = "reorder"
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be within [0, 1], got %r" % (rate,))
+
+
+def _check_time(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError("%s must be >= 0, got %r" % (name, value))
+
+
+@dataclass(frozen=True)
+class LinkRule:
+    """One per-packet rule applied on the fabric's transmit path.
+
+    ``src``/``dst`` name machines (``"*"`` matches any), making rules
+    per-link-direction.  ``packet_kind`` optionally restricts the rule
+    to one wire packet kind (``"WRITE"``, ``"SEND"``, ``"ACK"``, ...).
+    The rule is active during ``[start_ns, end_ns)``.
+    """
+
+    kind: str
+    src: str = "*"
+    dst: str = "*"
+    rate: float = 1.0
+    start_ns: float = 0.0
+    end_ns: float = _INF
+    packet_kind: Optional[str] = None
+    extra_delay_ns: float = 0.0   # DELAY: deterministic added latency
+    jitter_ns: float = 0.0        # REORDER: uniform added latency bound
+    copies: int = 1               # DUPLICATE: extra deliveries
+    dup_delay_ns: float = 0.0     # DUPLICATE: spacing of the copies
+    tag: str = ""                 # counter label; defaults to the kind
+
+    def matches(self, src: str, dst: str, kind_name: str, now: float) -> bool:
+        if not self.start_ns <= now < self.end_ns:
+            return False
+        if self.src != "*" and self.src != src:
+            return False
+        if self.dst != "*" and self.dst != dst:
+            return False
+        if self.packet_kind is not None and self.packet_kind != kind_name:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class NicStallRule:
+    """The named machine's NIC engine freezes for a while at ``at_ns``."""
+
+    machine: str
+    engine: str  # "ingress" | "egress"
+    at_ns: float
+    duration_ns: float
+
+
+@dataclass(frozen=True)
+class QpErrorRule:
+    """A QP transitions to the error state (optionally recovering)."""
+
+    machine: str
+    qpn: int
+    at_ns: float
+    recover_after_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RnrRule:
+    """RECV-queue exhaustion at a machine: inbound SENDs are dropped
+    with probability ``rate`` during the window (receiver-not-ready)."""
+
+    machine: str
+    rate: float
+    start_ns: float = 0.0
+    end_ns: float = _INF
+
+
+@dataclass(frozen=True)
+class CrashRule:
+    """A HERD server process crashes at ``at_ns`` and restarts after
+    ``down_ns`` (recovery re-scans its request-region partition)."""
+
+    server_index: int
+    at_ns: float
+    down_ns: float
+
+
+@dataclass(frozen=True)
+class FlapRule:
+    """The machine's link goes down for ``down_ns``: everything sent to
+    or from it in the window is lost."""
+
+    machine: str
+    at_ns: float
+    down_ns: float
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, declarative set of faults to inject into one run."""
+
+    seed: int = 0
+    link_rules: List[LinkRule] = field(default_factory=list)
+    nic_stalls: List[NicStallRule] = field(default_factory=list)
+    qp_errors: List[QpErrorRule] = field(default_factory=list)
+    rnr_rules: List[RnrRule] = field(default_factory=list)
+    crashes: List[CrashRule] = field(default_factory=list)
+    flaps: List[FlapRule] = field(default_factory=list)
+
+    # -- link-level faults -------------------------------------------------
+
+    def drop(
+        self,
+        src: str = "*",
+        dst: str = "*",
+        rate: float = 1.0,
+        start_ns: float = 0.0,
+        end_ns: float = _INF,
+        packet_kind: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Lose matching packets before they reach the wire."""
+        _check_rate(rate)
+        self.link_rules.append(
+            LinkRule(DROP, src, dst, rate, start_ns, end_ns, packet_kind)
+        )
+        return self
+
+    def uniform_loss(self, rate: float) -> "FaultPlan":
+        """Every packet, any direction: the plan-level equivalent of
+        the legacy ``Fabric.bit_error_rate`` knob."""
+        return self.drop(rate=rate)
+
+    def corrupt(
+        self,
+        src: str = "*",
+        dst: str = "*",
+        rate: float = 1.0,
+        start_ns: float = 0.0,
+        end_ns: float = _INF,
+        packet_kind: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Damage matching packets on the wire.
+
+        Unlike :meth:`drop`, a corrupted packet still consumes wire and
+        ingress-engine capacity before the receiving NIC's ICRC check
+        discards it — the distinction the paper's bit-error loss model
+        glosses over.
+        """
+        _check_rate(rate)
+        self.link_rules.append(
+            LinkRule(CORRUPT, src, dst, rate, start_ns, end_ns, packet_kind)
+        )
+        return self
+
+    def duplicate(
+        self,
+        src: str = "*",
+        dst: str = "*",
+        rate: float = 1.0,
+        copies: int = 1,
+        dup_delay_ns: float = 1_000.0,
+        start_ns: float = 0.0,
+        end_ns: float = _INF,
+        packet_kind: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Deliver matching packets ``copies`` extra times."""
+        _check_rate(rate)
+        if copies < 1:
+            raise ValueError("need at least one duplicate copy")
+        _check_time("dup_delay_ns", dup_delay_ns)
+        self.link_rules.append(
+            LinkRule(
+                DUPLICATE, src, dst, rate, start_ns, end_ns, packet_kind,
+                copies=copies, dup_delay_ns=dup_delay_ns,
+            )
+        )
+        return self
+
+    def delay(
+        self,
+        extra_ns: float,
+        src: str = "*",
+        dst: str = "*",
+        rate: float = 1.0,
+        start_ns: float = 0.0,
+        end_ns: float = _INF,
+        packet_kind: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Add a fixed extra propagation delay to matching packets."""
+        _check_rate(rate)
+        _check_time("extra_ns", extra_ns)
+        self.link_rules.append(
+            LinkRule(
+                DELAY, src, dst, rate, start_ns, end_ns, packet_kind,
+                extra_delay_ns=extra_ns,
+            )
+        )
+        return self
+
+    def reorder(
+        self,
+        jitter_ns: float,
+        src: str = "*",
+        dst: str = "*",
+        rate: float = 1.0,
+        start_ns: float = 0.0,
+        end_ns: float = _INF,
+        packet_kind: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Add a uniform random delay in ``[0, jitter_ns)`` to matching
+        packets, reordering them against later traffic."""
+        _check_rate(rate)
+        _check_time("jitter_ns", jitter_ns)
+        self.link_rules.append(
+            LinkRule(
+                REORDER, src, dst, rate, start_ns, end_ns, packet_kind,
+                jitter_ns=jitter_ns,
+            )
+        )
+        return self
+
+    # -- device / process faults ------------------------------------------
+
+    def nic_stall(
+        self, machine: str, engine: str, at_ns: float, duration_ns: float
+    ) -> "FaultPlan":
+        """Freeze one NIC engine (``"ingress"``/``"egress"``)."""
+        if engine not in ("ingress", "egress"):
+            raise ValueError("engine must be 'ingress' or 'egress'")
+        _check_time("at_ns", at_ns)
+        _check_time("duration_ns", duration_ns)
+        self.nic_stalls.append(NicStallRule(machine, engine, at_ns, duration_ns))
+        return self
+
+    def qp_error(
+        self,
+        machine: str,
+        qpn: int,
+        at_ns: float,
+        recover_after_ns: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Transition one QP to the error state (optionally re-arm)."""
+        _check_time("at_ns", at_ns)
+        if recover_after_ns is not None:
+            _check_time("recover_after_ns", recover_after_ns)
+        self.qp_errors.append(QpErrorRule(machine, qpn, at_ns, recover_after_ns))
+        return self
+
+    def rnr(
+        self,
+        machine: str,
+        rate: float,
+        start_ns: float = 0.0,
+        end_ns: float = _INF,
+    ) -> "FaultPlan":
+        """RECV-queue exhaustion at ``machine`` during the window."""
+        _check_rate(rate)
+        self.rnr_rules.append(RnrRule(machine, rate, start_ns, end_ns))
+        return self
+
+    def crash_server(
+        self, server_index: int, at_ns: float, down_ns: float
+    ) -> "FaultPlan":
+        """Crash HERD server process ``server_index``; restart later."""
+        if server_index < 0:
+            raise ValueError("server_index must be >= 0")
+        _check_time("at_ns", at_ns)
+        _check_time("down_ns", down_ns)
+        self.crashes.append(CrashRule(server_index, at_ns, down_ns))
+        return self
+
+    def flap_link(self, machine: str, at_ns: float, down_ns: float) -> "FaultPlan":
+        """Take the machine's port down for ``down_ns``."""
+        _check_time("at_ns", at_ns)
+        _check_time("down_ns", down_ns)
+        self.flaps.append(FlapRule(machine, at_ns, down_ns))
+        # A flap is sugar for two total-loss drop rules in the window.
+        end = at_ns + down_ns
+        self.link_rules.append(
+            LinkRule(DROP, src=machine, start_ns=at_ns, end_ns=end, tag="flap")
+        )
+        self.link_rules.append(
+            LinkRule(DROP, dst=machine, start_ns=at_ns, end_ns=end, tag="flap")
+        )
+        return self
+
+    # -- composition / installation ---------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.link_rules
+            or self.nic_stalls
+            or self.qp_errors
+            or self.rnr_rules
+            or self.crashes
+        )
+
+    def install(self, target):
+        """Attach this plan to a ``HerdCluster`` or a bare ``Fabric``.
+
+        Returns the :class:`~repro.faults.injector.FaultInjector` doing
+        the work.  Installing onto a bare fabric supports verbs-level
+        experiments; crash rules then require a cluster.
+        """
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self, target)
+
+    def describe(self) -> str:
+        """A human-readable one-line-per-rule summary."""
+        lines = ["FaultPlan(seed=%d)" % self.seed]
+        for rule in self.link_rules:
+            window = (
+                ""
+                if rule.end_ns == _INF and rule.start_ns == 0.0
+                else " during [%.0f, %.0f) ns" % (rule.start_ns, rule.end_ns)
+            )
+            lines.append(
+                "  %-9s %s->%s rate=%g%s%s"
+                % (
+                    rule.tag or rule.kind,
+                    rule.src,
+                    rule.dst,
+                    rule.rate,
+                    " kind=%s" % rule.packet_kind if rule.packet_kind else "",
+                    window,
+                )
+            )
+        for stall in self.nic_stalls:
+            lines.append(
+                "  nic-stall %s.%s at %.0f ns for %.0f ns"
+                % (stall.machine, stall.engine, stall.at_ns, stall.duration_ns)
+            )
+        for qpe in self.qp_errors:
+            lines.append(
+                "  qp-error  %s qp%d at %.0f ns%s"
+                % (
+                    qpe.machine,
+                    qpe.qpn,
+                    qpe.at_ns,
+                    ""
+                    if qpe.recover_after_ns is None
+                    else " recover +%.0f ns" % qpe.recover_after_ns,
+                )
+            )
+        for rnr in self.rnr_rules:
+            lines.append(
+                "  rnr       %s rate=%g during [%.0f, %.0f) ns"
+                % (rnr.machine, rnr.rate, rnr.start_ns, rnr.end_ns)
+            )
+        for crash in self.crashes:
+            lines.append(
+                "  crash     server %d at %.0f ns, down %.0f ns"
+                % (crash.server_index, crash.at_ns, crash.down_ns)
+            )
+        return "\n".join(lines)
+
+    # -- randomized plans (chaos) -----------------------------------------
+
+    @classmethod
+    def randomized(
+        cls,
+        seed: int,
+        horizon_ns: float,
+        n_server_processes: int = 1,
+        intensity: float = 1.0,
+        crash: bool = True,
+        rnr_machine: Optional[str] = None,
+    ) -> "FaultPlan":
+        """A seeded random chaos mix, all faults within ``horizon_ns``.
+
+        Always includes loss + corruption + duplication toward and from
+        the server; with ``crash=True`` (and at least two server
+        processes so siblings can absorb load) also one server-process
+        crash that recovers well before the horizon.  ``rnr_machine``
+        names a machine whose RECV ring intermittently runs dry — in
+        HERD that must be a *client* machine (responses are the only
+        SENDs on the wire; requests are WRITEs and need no RECV).
+        """
+        if horizon_ns <= 0:
+            raise ValueError("horizon_ns must be > 0")
+        if intensity <= 0:
+            raise ValueError("intensity must be > 0")
+        rng = child_rng(seed, "faults.randomized")
+        scale = min(intensity, 10.0)
+        plan = cls(seed=seed)
+        u = rng.uniform
+        plan.drop(dst="server", rate=u(0.01, 0.04) * scale, end_ns=horizon_ns)
+        plan.drop(src="server", rate=u(0.005, 0.03) * scale, end_ns=horizon_ns)
+        plan.corrupt(rate=u(0.002, 0.01) * scale, end_ns=horizon_ns)
+        plan.duplicate(
+            rate=u(0.002, 0.01) * scale,
+            dup_delay_ns=u(500.0, 3_000.0),
+            end_ns=horizon_ns,
+        )
+        plan.reorder(jitter_ns=u(500.0, 4_000.0), rate=u(0.01, 0.05), end_ns=horizon_ns)
+        plan.nic_stall(
+            "server",
+            engine="ingress" if rng.random() < 0.5 else "egress",
+            at_ns=u(0.1, 0.8) * horizon_ns,
+            duration_ns=u(0.005, 0.02) * horizon_ns,
+        )
+        if rnr_machine is not None:
+            plan.rnr(
+                rnr_machine,
+                rate=u(0.05, 0.2),
+                start_ns=u(0.1, 0.5) * horizon_ns,
+                end_ns=u(0.6, 0.9) * horizon_ns,
+            )
+        if crash and n_server_processes > 1:
+            at = u(0.2, 0.45) * horizon_ns
+            plan.crash_server(
+                rng.randrange(n_server_processes),
+                at_ns=at,
+                down_ns=u(0.1, 0.25) * horizon_ns,
+            )
+        return plan
+
+    def clamped(self, end_ns: float) -> "FaultPlan":
+        """A copy whose open-ended link/rnr windows close at ``end_ns``
+        (used by the chaos harness so the drain phase is fault-free)."""
+        plan = FaultPlan(seed=self.seed)
+        plan.link_rules = [
+            replace(rule, end_ns=min(rule.end_ns, end_ns)) for rule in self.link_rules
+        ]
+        plan.nic_stalls = list(self.nic_stalls)
+        plan.qp_errors = list(self.qp_errors)
+        plan.rnr_rules = [
+            replace(rule, end_ns=min(rule.end_ns, end_ns)) for rule in self.rnr_rules
+        ]
+        plan.crashes = list(self.crashes)
+        plan.flaps = list(self.flaps)
+        return plan

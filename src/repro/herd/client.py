@@ -14,10 +14,25 @@ window, then issues one new operation per response (closed loop).
 Requests are written to slot ``(s, c, sent_s mod W)``; because the
 global window is also W, a slot is never reused before the server has
 freed it.
+
+Resilience (Section 2.2.3's "rare application-level retries", grown
+into a full client-side policy for fault injection):
+
+* overdue requests are re-WRITTEN with exponential backoff and
+  deterministic jitter drawn from the client's own named RNG stream;
+* the retry timeout optionally adapts to observed response times
+  (Jacobson/Karels srtt + 4 * rttvar, with Karn's rule on samples);
+* a per-op retry budget bounds the effort; abandoned ops *quarantine*
+  their window slot so a late response cannot be matched to a newer
+  request reusing the slot;
+* when one server process is saturated or crashed, new ops for it are
+  *parked* (bounded) and the client keeps issuing to the healthy
+  partitions — per-core graceful degradation.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Generator, List, Optional, Tuple
 
@@ -40,20 +55,32 @@ from repro.herd.wire import decode_response, encode_get, encode_put
 #: observer called as fn(op, latency_ns, success, now)
 ResponseHook = Callable[[Operation, float, bool, float], None]
 
-#: per-response receive buffer: GRH + the largest response
-_RECV_SLOT = 40 + 1024
+#: verification observer called as fn(op, success, value, now) with the
+#: decoded response payload (the chaos harness checks values with this)
+PayloadHook = Callable[[Operation, bool, Optional[bytes], float], None]
+
+#: per-response receive buffer: GRH + the loss-mode slot/epoch prefix +
+#: the largest response
+_RECV_SLOT = 40 + 2 + 1024
 
 
 @dataclass
 class _Pending:
     op: Operation
     sent_at: float
+    server: int
     window_slot: int
     recv_offset: int
     #: what the request WRITE carried, for application-level retries
     payload: bytes = b""
     raddr: int = 0
     last_sent: float = 0.0
+    #: re-sends so far (bounded by the retry budget)
+    attempts: int = 0
+    #: sim time at which the retry watchdog may re-send this op
+    deadline: float = 0.0
+    #: the slot epoch this request carries (echoed by the server)
+    epoch: int = 0
 
 
 class HerdClientProcess:
@@ -65,6 +92,7 @@ class HerdClientProcess:
         device: RdmaDevice,
         config: HerdConfig,
         stream: WorkloadStream,
+        retry_rng: Optional[random.Random] = None,
     ) -> None:
         self.client_id = client_id
         self.device = device
@@ -89,6 +117,7 @@ class HerdClientProcess:
         self.recv_mr = device.register_memory(2 * config.window * ns * _RECV_SLOT)
         self._staging = device.register_memory(2 * config.window * config.slot_bytes)
         self._recv_token = 0
+        self._retry_token = 0
         #: per-server issue sequence; responses from one server are FIFO
         #: and at most W are outstanding, so sequence mod 2W can never
         #: alias a live receive buffer
@@ -96,12 +125,31 @@ class HerdClientProcess:
         #: request-region slots not currently holding a pending request
         #: (a slot may only be rewritten after its response arrived)
         self._slot_free = [set(range(config.window)) for _ in range(ns)]
-        self._deferred_op: Optional[Operation] = None
+        #: slot -> epoch of abandoned ops: neither free nor pending,
+        #: until the late response shows up and releases them
+        self._quarantined: List[Dict[int, int]] = [{} for _ in range(ns)]
+        #: per-slot reuse counter, embedded in requests and echoed in
+        #: responses so stale duplicates cannot alias a reused slot
+        self._slot_epoch = [[0] * config.window for _ in range(ns)]
+        #: ops drawn from the stream whose partition had no free slot;
+        #: issued as soon as a slot frees (graceful degradation)
+        self._parked: List[Deque[Operation]] = [deque() for _ in range(ns)]
+        self._park_limit = 2 * config.window
         #: per-server RECV buffer offsets in posting order (loss mode)
         self._recv_order: List[Deque[int]] = [deque() for _ in range(ns)]
         self._pending: List[Deque[_Pending]] = [deque() for _ in range(ns)]
         self.outstanding = 0
         self.response_hook: Optional[ResponseHook] = None
+        self.payload_hook: Optional[PayloadHook] = None
+        #: when set, draw no new ops from the stream after this time
+        #: (the chaos harness uses this to drain the windows)
+        self.stop_after: Optional[float] = None
+        #: retry jitter / backoff randomness: a named child stream of
+        #: the cluster seed, so retries never perturb workload draws
+        self._rng = retry_rng if retry_rng is not None else random.Random(client_id)
+        # adaptive timeout state (Jacobson/Karels)
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
         # Observability (repro.obs): per-client response latency
         metrics = getattr(self.sim, "metrics", None)
         self._lat_hist = (
@@ -116,6 +164,16 @@ class HerdClientProcess:
         self.failures = 0
         self.retries = 0
         self.duplicate_responses = 0
+        self.abandoned = 0
+        self.late_responses = 0
+        if metrics is not None:
+            prefix = "herd.client%d." % client_id
+            metrics.gauge_fn(prefix + "retries", lambda: self.retries)
+            metrics.gauge_fn(
+                prefix + "duplicate_responses", lambda: self.duplicate_responses
+            )
+            metrics.gauge_fn(prefix + "abandoned", lambda: self.abandoned)
+            metrics.gauge_fn(prefix + "late_responses", lambda: self.late_responses)
 
     # ------------------------------------------------------------------
 
@@ -140,17 +198,31 @@ class HerdClientProcess:
     # ------------------------------------------------------------------
 
     def _issue_next(self) -> Generator[Event, None, None]:
-        if self._deferred_op is not None:
-            op, self._deferred_op = self._deferred_op, None
-        else:
+        # Parked ops first: the oldest op whose partition has a slot
+        # again (its server recovered, or a response freed a slot).
+        for server in range(len(self._parked)):
+            if self._parked[server] and self._slot_free[server]:
+                yield from self._send_op(self._parked[server].popleft(), server)
+                return
+        if self.stop_after is not None and self.sim.now >= self.stop_after:
+            return  # draining: no new work
+        while True:
+            if sum(len(q) for q in self._parked) >= self._park_limit:
+                # Every partition we have drawn work for is saturated
+                # (e.g. its server process crashed).  Hold off; the
+                # next completion re-enters this path.
+                return
             op = self.stream.next_op()
-        server = partition_of(op.key, self.config.n_server_processes)
+            server = partition_of(op.key, self.config.n_server_processes)
+            if self._slot_free[server]:
+                yield from self._send_op(op, server)
+                return
+            # This partition is saturated: park the op and keep the
+            # closed loop running against the healthy partitions.
+            self._parked[server].append(op)
+
+    def _send_op(self, op: Operation, server: int) -> Generator[Event, None, None]:
         free = self._slot_free[server]
-        if not free:
-            # Every slot at this server still awaits a response (only
-            # possible under loss); hold the op until one frees up.
-            self._deferred_op = op
-            return
         window_slot = min(free)
         free.discard(window_slot)
 
@@ -168,8 +240,17 @@ class HerdClientProcess:
         self._recv_order[server].append(recv_offset)
 
         # 2. WRITE the request into the server's request region.
+        if self.config.retry_timeout_ns is not None:
+            epoch = (self._slot_epoch[server][window_slot] + 1) & 0xFF
+            self._slot_epoch[server][window_slot] = epoch
+            wire_epoch = epoch
+        else:
+            epoch = 0
+            wire_epoch = None
         payload = (
-            encode_get(op.key) if op.op is OpType.GET else encode_put(op.key, op.value)
+            encode_get(op.key, epoch=wire_epoch)
+            if op.op is OpType.GET
+            else encode_put(op.key, op.value, epoch=wire_epoch)
         )
         slot_addr = self.region.slot_addr(server, self.client_id, window_slot)
         raddr = slot_addr + self.config.slot_bytes - len(payload)
@@ -188,28 +269,60 @@ class HerdClientProcess:
                 ah=self.dct_ah,
             )
         yield from self.device.post_send_timed(self.uc_qp, wr)
+        now = self.sim.now
         self._pending[server].append(
             _Pending(
                 op,
-                self.sim.now,
+                now,
+                server,
                 window_slot,
                 recv_offset,
                 payload=payload,
                 raddr=raddr,
-                last_sent=self.sim.now,
+                last_sent=now,
+                deadline=now + (self._rto() or 0.0),
+                epoch=epoch,
             )
         )
         self.outstanding += 1
         self.issued += 1
 
     @staticmethod
-    def _take_by_slot(pending: Deque[_Pending], window_slot: int) -> Optional[_Pending]:
-        """Remove and return the pending record for ``window_slot``."""
+    def _take_by_slot(
+        pending: Deque[_Pending], window_slot: int, epoch: int
+    ) -> Optional[_Pending]:
+        """Remove and return the pending record a response answers.
+
+        Both the slot and its epoch must match: a mismatched epoch
+        means the response belongs to an older incarnation of the slot
+        (a stale duplicate) and must not complete the current op.
+        """
         for record in pending:
-            if record.window_slot == window_slot:
+            if record.window_slot == window_slot and record.epoch == epoch:
                 pending.remove(record)
                 return record
         return None
+
+    # -- retries -------------------------------------------------------
+
+    def _rto(self) -> Optional[float]:
+        """The current base retry timeout (before backoff)."""
+        cfg = self.config
+        if cfg.retry_timeout_ns is None:
+            return None
+        if cfg.adaptive_retry and self._srtt is not None:
+            return max(
+                cfg.min_retry_timeout_ns, self._srtt + 4.0 * self._rttvar
+            )
+        return cfg.retry_timeout_ns
+
+    def _observe_rtt(self, sample: float) -> None:
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
 
     def _retry_watchdog(self) -> Generator[Event, None, None]:
         """Re-WRITE requests whose responses are overdue.
@@ -220,9 +333,10 @@ class HerdClientProcess:
         server (re-)executes and responds into the already-posted
         RECV.  MICA PUTs are idempotent here (same key, same bytes).
         """
-        timeout = self.config.retry_timeout_ns
+        cfg = self.config
         while True:
-            yield self.sim.timeout(timeout / 2.0)
+            base = max(cfg.min_retry_timeout_ns, self._rto())
+            yield self.sim.timeout(base / 2.0)
             now = self.sim.now
             # Collect first (posting yields, and completions may mutate
             # the pending queues while we wait).
@@ -230,13 +344,23 @@ class HerdClientProcess:
                 record
                 for queue in self._pending
                 for record in queue
-                if now - record.last_sent > timeout
+                if now >= record.deadline
             ]
             for record in overdue:
                 if not any(record in queue for queue in self._pending):
                     continue  # completed while we were retransmitting
-                record.last_sent = self.sim.now
+                if (
+                    cfg.retry_budget is not None
+                    and record.attempts >= cfg.retry_budget
+                ):
+                    self._abandon(record)
+                    continue
+                record.attempts += 1
                 self.retries += 1
+                backoff = cfg.retry_backoff ** record.attempts
+                jitter = 1.0 + cfg.retry_jitter * self._rng.random()
+                record.deadline = self.sim.now + self._rto() * backoff * jitter
+                record.last_sent = self.sim.now
                 if len(record.payload) <= self.profile.max_inline:
                     wr = WorkRequest.write(
                         raddr=record.raddr, rkey=self.region.mr.rkey,
@@ -244,13 +368,35 @@ class HerdClientProcess:
                         ah=self.dct_ah,
                     )
                 else:
-                    self._staging.write(0, record.payload)
+                    offset = (
+                        self._retry_token % (2 * cfg.window)
+                    ) * cfg.slot_bytes
+                    self._retry_token += 1
+                    self._staging.write(offset, record.payload)
                     wr = WorkRequest.write(
                         raddr=record.raddr, rkey=self.region.mr.rkey,
-                        local=(self._staging, 0, len(record.payload)),
+                        local=(self._staging, offset, len(record.payload)),
                         signaled=False, ah=self.dct_ah,
                     )
                 yield from self.device.post_send_timed(self.uc_qp, wr)
+
+    def _abandon(self, record: _Pending) -> None:
+        """Give up on an op whose retry budget is spent.
+
+        The window slot is *quarantined*, not freed: the server may
+        still execute a retry in flight and respond later, and that
+        response must not be matched to a newer op reusing the slot.
+        A late response releases the quarantine; under permanent loss
+        the slot stays retired (degraded but safe).
+        """
+        queue = self._pending[record.server]
+        if record in queue:
+            queue.remove(record)
+        self.outstanding -= 1
+        self.abandoned += 1
+        self._quarantined[record.server][record.window_slot] = record.epoch
+
+    # -- completion ----------------------------------------------------
 
     def _absorb(self, cqe) -> None:
         server = self._server_of_qpn[cqe.qpn]
@@ -267,9 +413,18 @@ class HerdClientProcess:
             # consumed FIFO regardless of which request is answered).
             offset = self._recv_order[server].popleft()
             raw = self.recv_mr.read(offset + 40, cqe.byte_len)
-            slot, payload = raw[0], raw[1:]
-            record = self._take_by_slot(pending, slot)
+            slot, epoch, payload = raw[0], raw[1], raw[2:]
+            record = self._take_by_slot(pending, slot, epoch)
             if record is None:
+                if self._quarantined[server].get(slot) == epoch:
+                    # The answer to an op we had abandoned: release the
+                    # quarantined slot.  This response consumed the
+                    # RECV the abandoned op posted, so the RECV
+                    # accounting is already balanced — no replenish.
+                    del self._quarantined[server][slot]
+                    self._slot_free[server].add(slot)
+                    self.late_responses += 1
+                    return
                 # A duplicate response (retry raced the original).  Put
                 # a fresh RECV in place of the one this duplicate ate so
                 # the still-pending request it belonged to can complete.
@@ -284,6 +439,9 @@ class HerdClientProcess:
         self.completed += 1
         self._slot_free[server].add(record.window_slot)
         latency = self.sim.now - record.sent_at
+        if record.attempts == 0:
+            # Karn's rule: only un-retried ops give unambiguous samples.
+            self._observe_rtt(latency)
         if self._lat_hist is not None:
             self._lat_hist.observe(latency)
         success, value = decode_response(record.op.op, payload)
@@ -293,3 +451,5 @@ class HerdClientProcess:
             self.failures += 1
         if self.response_hook is not None:
             self.response_hook(record.op, latency, success, self.sim.now)
+        if self.payload_hook is not None:
+            self.payload_hook(record.op, success, value, self.sim.now)

@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from repro.bench.result import RunResult, collect
 from repro.obs.report import RunReport
+from repro.faults.rng import child_rng, derive_seed
 from repro.hw import APT, Fabric, HardwareProfile, Machine
 from repro.sim import LatencyRecorder, RateMeter, Simulator
 from repro.verbs import RdmaDevice, Transport
@@ -36,7 +37,12 @@ class HerdCluster:
         self.profile = profile
         self.seed = seed
         self.sim = Simulator()
-        self.fabric = Fabric(self.sim, profile)
+        # Every randomness source gets its own named child stream of the
+        # cluster seed (repro.faults.rng): enabling loss or fault
+        # injection must not perturb workload or cache draws.
+        self.fabric = Fabric(
+            self.sim, profile, loss_seed=derive_seed(seed, "fabric.loss")
+        )
         self.server_device = RdmaDevice(
             Machine(self.sim, self.fabric, "server", cache_seed=seed)
         )
@@ -47,6 +53,7 @@ class HerdCluster:
         self.clients: List[HerdClientProcess] = []
         self.servers: List[HerdServerProcess] = []
         self.region: Optional[RequestRegion] = None
+        self.injector = None  # set by install_faults()
         self._wired = False
 
     # ------------------------------------------------------------------
@@ -60,7 +67,13 @@ class HerdCluster:
             device = self.client_devices[cid % len(self.client_devices)]
             stream = workload.stream(seed=self.seed * 1_000_003 + cid)
             self.clients.append(
-                HerdClientProcess(cid, device, self.config, stream)
+                HerdClientProcess(
+                    cid,
+                    device,
+                    self.config,
+                    stream,
+                    retry_rng=child_rng(self.seed, "client%d.retry" % cid),
+                )
             )
 
     def wire(self) -> None:
@@ -101,6 +114,20 @@ class HerdCluster:
             )
         self._wired = True
 
+    def install_faults(self, plan) -> "object":
+        """Install a :class:`repro.faults.FaultPlan` onto this cluster.
+
+        Wires the cluster first if needed (crash rules must resolve
+        server processes).  Returns the live injector, also kept as
+        ``self.injector`` for counter inspection after the run.
+        """
+        from repro.faults import FaultInjector
+
+        if not self._wired:
+            self.wire()
+        self.injector = FaultInjector(plan, self)
+        return self.injector
+
     # ------------------------------------------------------------------
 
     def preload(self, items: range, value_size: int) -> None:
@@ -128,15 +155,19 @@ class HerdCluster:
         per_server = [RateMeter(warmup_ns, window_end) for _ in self.servers]
 
         for client in self.clients:
-            def hook(op, latency, success, now, _m=meter, _l=latencies):
+            def hook(op, latency, success, now, _m=meter, _l=latencies, _prev=client.response_hook):
                 _m.record(now)
                 _l.record(now, latency)
+                if _prev is not None:
+                    _prev(op, latency, success, now)
 
             client.response_hook = hook
             client.start()
         for server in self.servers:
-            def shook(client_id, op, now, _m=per_server[server.index]):
+            def shook(client_id, op, now, _m=per_server[server.index], _prev=server.completion_hook):
                 _m.record(now)
+                if _prev is not None:
+                    _prev(client_id, op, now)
 
             server.completion_hook = shook
             server.start()
@@ -161,4 +192,7 @@ class HerdCluster:
             noops=float(sum(s.noops_pushed for s in self.servers)),
             get_misses=float(sum(c.get_misses for c in self.clients)),
             retries=float(sum(c.retries for c in self.clients)),
+            abandoned=float(sum(c.abandoned for c in self.clients)),
+            server_crashes=float(sum(s.crashes for s in self.servers)),
+            server_recoveries=float(sum(s.recoveries for s in self.servers)),
         )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -42,17 +43,75 @@ class HerdConfig:
     #: transport-level retransmission ... at the cost of rare
     #: application-level retries".  Set this well above the p99
     #: latency — a premature retry desynchronises response matching.
-    retry_timeout_ns: float = None
+    retry_timeout_ns: Optional[float] = None
+    #: multiplier applied to the retry timeout per attempt (exponential
+    #: backoff keeps retry traffic from piling onto a struggling server)
+    retry_backoff: float = 2.0
+    #: deterministic jitter: each retry deadline is stretched by up to
+    #: this fraction, drawn from the client's own named RNG stream, so
+    #: retries from many clients do not synchronise
+    retry_jitter: float = 0.1
+    #: re-sends allowed per operation before the client abandons it, or
+    #: None for unlimited (an abandoned op quarantines its window slot
+    #: until a late response arrives, so slot reuse stays safe)
+    retry_budget: Optional[int] = None
+    #: adapt the retry timeout to observed response times (Jacobson/
+    #: Karels: srtt + 4 * rttvar, floored at min_retry_timeout_ns);
+    #: retry_timeout_ns then only seeds the estimator
+    adaptive_retry: bool = False
+    #: floor for the adaptive retry timeout
+    min_retry_timeout_ns: float = 5_000.0
 
     def __post_init__(self) -> None:
         if self.n_server_processes < 1:
             raise ValueError("need at least one server process")
-        if self.window < 1:
-            raise ValueError("window must be >= 1")
+        if not 1 <= self.window <= 255:
+            raise ValueError(
+                "window must be within [1, 255] (the response's slot-id "
+                "byte identifies the window slot); got %r" % (self.window,)
+            )
         if self.slot_bytes < 32:
             raise ValueError("slots must hold LEN + keyhash + some value")
+        if self.index_entries < 1:
+            raise ValueError("index_entries must be >= 1; got %r" % (self.index_entries,))
+        if self.log_bytes < 1:
+            raise ValueError("log_bytes must be >= 1; got %r" % (self.log_bytes,))
+        if self.noop_after_polls < 1:
+            raise ValueError(
+                "noop_after_polls must be >= 1; got %r" % (self.noop_after_polls,)
+            )
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                "pipeline_depth must be >= 1; got %r" % (self.pipeline_depth,)
+            )
         if self.request_transport not in ("UC", "DC"):
             raise ValueError("request transport must be UC or DC")
+        if self.retry_timeout_ns is not None and not self.retry_timeout_ns > 0:
+            raise ValueError(
+                "retry_timeout_ns must be > 0 (or None to disable retries); "
+                "got %r" % (self.retry_timeout_ns,)
+            )
+        if self.retry_backoff < 1.0:
+            raise ValueError(
+                "retry_backoff must be >= 1 (a shrinking timeout would "
+                "retry before the previous attempt could answer); got %r"
+                % (self.retry_backoff,)
+            )
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError(
+                "retry_jitter is a fraction within [0, 1]; got %r"
+                % (self.retry_jitter,)
+            )
+        if self.retry_budget is not None and self.retry_budget < 1:
+            raise ValueError(
+                "retry_budget must be >= 1 (or None for unlimited); got %r"
+                % (self.retry_budget,)
+            )
+        if not self.min_retry_timeout_ns > 0:
+            raise ValueError(
+                "min_retry_timeout_ns must be > 0; got %r"
+                % (self.min_retry_timeout_ns,)
+            )
 
     def region_bytes(self, n_clients: int) -> int:
         """Size of the request region for ``n_clients`` client processes."""

@@ -80,10 +80,15 @@ class RequestRegion:
 
     # -- server-side access -------------------------------------------------
 
-    def read_slot(self, server: int, client: int, window_slot: int):
-        """Decode the request in a slot (None if free)."""
+    def read_slot(self, server: int, client: int, window_slot: int, with_epoch: bool = False):
+        """Decode the request in a slot (None if free).
+
+        ``with_epoch`` (loss mode) also returns the request's slot
+        epoch byte: ``(operation, epoch)``."""
         offset = self.slot_offset(server, client, window_slot)
-        return decode_request(self.mr.read(offset, self.config.slot_bytes))
+        return decode_request(
+            self.mr.read(offset, self.config.slot_bytes), with_epoch=with_epoch
+        )
 
     def clear_slot(self, server: int, client: int, window_slot: int) -> None:
         """Zero the keyhash, freeing the slot for the client's next
@@ -94,6 +99,25 @@ class RequestRegion:
             - KEYHASH_BYTES
         )
         self.mr.write(offset, b"\x00" * KEYHASH_BYTES)
+
+    def scan_partition(self, server: int) -> List[Tuple[int, int]]:
+        """Slots in ``server``'s chunk still holding a live request.
+
+        The request region is shared memory: it survives a server
+        *process* crash.  A recovering process re-scans its chunk for
+        non-zero keyhashes — the ground truth for what remains
+        unanswered, since a slot's keyhash is only zeroed *after* its
+        response was posted.  Requests written while the process was
+        down are found the same way.
+        """
+        live: List[Tuple[int, int]] = []
+        keyhash_at = self.config.slot_bytes - KEYHASH_BYTES
+        for client in range(self.n_clients):
+            for window_slot in range(self.config.window):
+                offset = self.slot_offset(server, client, window_slot)
+                if any(self.mr.read(offset + keyhash_at, KEYHASH_BYTES)):
+                    live.append((client, window_slot))
+        return live
 
     # -- polling support ------------------------------------------------------
 

@@ -29,8 +29,9 @@ from repro.herd.pipeline import RequestPipeline
 from repro.herd.region import RequestRegion
 from repro.herd.wire import encode_response
 
-#: a request travelling through the pipeline: (client, window slot, op)
-PipelineEntry = Tuple[int, int, Operation]
+#: a request travelling through the pipeline:
+#: (client, window slot, op, request epoch)
+PipelineEntry = Tuple[int, int, Operation, int]
 
 #: observer called as fn(client_id, op, now) when a response is posted
 CompletionHook = Callable[[int, Operation, float], None]
@@ -70,12 +71,25 @@ class HerdServerProcess:
         #: overwrite these (it would corrupt an in-flight response)
         self._staging_inflight: List[Tuple[int, int]] = []
         self.completion_hook: Optional[CompletionHook] = None
+        #: liveness: False between :meth:`crash` and :meth:`recover`.
+        #: The request region and the MICA partition live in shared
+        #: memory (HERD maps both with ``shmget``), so only the
+        #: process's volatile state — its pipeline and its position in
+        #: the polling loop — dies with it.
+        self.alive = True
+        #: bumped by :meth:`crash`; a stale polling loop notices its
+        #: epoch is old at the next yield boundary and exits
+        self.epoch = 0
+        self._waiting_get = None
         # counters
         self.gets = 0
         self.puts = 0
         self.get_hits = 0
         self.responses = 0
         self.noops_pushed = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.recovered_slots = 0
         # Observability (repro.obs)
         metrics = getattr(self.sim, "metrics", None)
         self._occupancy = None
@@ -86,37 +100,115 @@ class HerdServerProcess:
             metrics.gauge_fn(prefix + "get_hits", lambda: self.get_hits)
             metrics.gauge_fn(prefix + "responses", lambda: self.responses)
             metrics.gauge_fn(prefix + "noops", lambda: self.noops_pushed)
+            metrics.gauge_fn(prefix + "crashes", lambda: self.crashes)
+            metrics.gauge_fn(prefix + "recoveries", lambda: self.recoveries)
+            metrics.gauge_fn(prefix + "recovered_slots", lambda: self.recovered_slots)
             self._occupancy = metrics.histogram(prefix + "pipeline_occupancy")
 
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        self.sim.process(self.run(), name="herd-server-%d" % self.index)
+        self.sim.process(self.run(self.epoch), name="herd-server-%d" % self.index)
 
-    def run(self) -> Generator[Event, None, None]:
-        """The polling loop."""
+    # -- crash / recovery ----------------------------------------------
+
+    def crash(self) -> bool:
+        """Kill the server process (returns False if already dead).
+
+        The polling loop's generator is abandoned: its blocked arrival
+        getter is withdrawn (so queued notifications are not handed to
+        a corpse), and any resumption from a pending timeout sees the
+        bumped epoch and exits.  A request caught mid-execution may
+        still get its response out — exactly the ambiguity a real crash
+        leaves, and why recovery re-scans the region rather than trust
+        any process-local record.
+        """
+        if not self.alive:
+            return False
+        self.alive = False
+        self.epoch += 1
+        self.crashes += 1
+        if self._waiting_get is not None:
+            self.region.arrivals[self.index].cancel(self._waiting_get)
+            self._waiting_get = None
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.mark("herd-server-%d" % self.index, "crash")
+        return True
+
+    def recover(self) -> bool:
+        """Restart a crashed server process (False if it is alive).
+
+        The new process re-attaches the shared request region and MICA
+        partition, discards stale arrival notifications, and re-scans
+        its region chunk: every slot whose keyhash is still non-zero is
+        an unanswered request — written before the crash or while the
+        process was down (RDMA WRITEs land without the CPU) — and is
+        re-queued for service.  Re-execution is safe: GETs are
+        read-only and HERD PUTs are idempotent, and the client dedups
+        the rare duplicate response by window slot.
+        """
+        if self.alive:
+            return False
+        self.alive = True
+        self.epoch += 1
+        self.recoveries += 1
+        self.pipeline = RequestPipeline(self.config.pipeline_depth)
+        arrivals = self.region.arrivals[self.index]
+        arrivals.clear()  # superseded by the scan below
+        live = self.region.scan_partition(self.index)
+        self.recovered_slots += len(live)
+        for item in live:
+            arrivals.put(item)
+        # Charge one full polling pass for the scan itself.
+        scan_ns = self.region.n_clients * self.config.window * self.profile.poll_check_ns
+        self.sim.process(
+            self.run(self.epoch, warmup_ns=scan_ns),
+            name="herd-server-%d.e%d" % (self.index, self.epoch),
+        )
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.mark(
+                "herd-server-%d" % self.index,
+                "recovered (%d live slots)" % len(live),
+            )
+        return True
+
+    def run(self, epoch: int, warmup_ns: float = 0.0) -> Generator[Event, None, None]:
+        """The polling loop (for one process incarnation)."""
         sim = self.sim
         p = self.profile
         cfg = self.config
         arrivals = self.region.arrivals[self.index]
         flush_spin_ns = cfg.noop_after_polls * p.poll_check_ns
-        while True:
+        if warmup_ns:
+            yield sim.timeout(warmup_ns)
+        while self.epoch == epoch:
             item = arrivals.try_get()
             if item is None and self.pipeline:
                 # Requests are stuck in the pipeline: spin for the
                 # paper's 100 poll iterations, then push a no-op.
                 yield sim.timeout(flush_spin_ns)
+                if self.epoch != epoch:
+                    return
                 item = arrivals.try_get()
                 if item is None:
                     self.noops_pushed += 1
-                    yield from self._complete(self.pipeline.push(None))
+                    yield from self._complete(self.pipeline.push(None), epoch)
                     continue
             if item is None:
                 # Fully idle: block until a request lands, then charge
                 # the round-robin detection delay (half a polling pass).
-                item = yield arrivals.get()
+                event = arrivals.get()
+                self._waiting_get = event
+                item = yield event
+                self._waiting_get = None
+                if self.epoch != epoch:
+                    return  # crashed while blocked; slot survives in shm
                 yield sim.timeout(self._detect_delay_ns())
-            yield from self._serve(item)
+                if self.epoch != epoch:
+                    return
+            yield from self._serve(item, epoch)
 
     def _detect_delay_ns(self) -> float:
         slots = self.region.n_clients * self.config.window
@@ -124,32 +216,44 @@ class HerdServerProcess:
 
     # ------------------------------------------------------------------
 
-    def _serve(self, item: Tuple[int, int]) -> Generator[Event, None, None]:
+    def _serve(
+        self, item: Tuple[int, int], epoch: int
+    ) -> Generator[Event, None, None]:
         sim = self.sim
         p = self.profile
         client, window_slot = item
         # Cost of the poll iteration that found the slot + decode.
         yield sim.timeout(4 * p.poll_check_ns)
-        op = self.region.read_slot(self.index, client, window_slot)
+        if self.epoch != epoch:
+            return  # crashed mid-poll; the slot survives for the re-scan
+        if self.config.retry_timeout_ns is not None:
+            op, req_epoch = self.region.read_slot(
+                self.index, client, window_slot, with_epoch=True
+            )
+        else:
+            op = self.region.read_slot(self.index, client, window_slot)
+            req_epoch = 0
         if op is None:
             return  # spurious wakeup: slot already consumed
         if self.config.prefetch:
             # Issue the prefetch for this request's index bucket; it
             # completes while we respond to the pipeline's oldest entry.
             yield sim.timeout(1.0)
-        completed = self.pipeline.push((client, window_slot, op))
+            if self.epoch != epoch:
+                return
+        completed = self.pipeline.push((client, window_slot, op, req_epoch))
         if self._occupancy is not None:
             self._occupancy.observe(len(self.pipeline))
-        yield from self._complete(completed)
+        yield from self._complete(completed, epoch)
 
     def _complete(
-        self, entry: Optional[PipelineEntry]
+        self, entry: Optional[PipelineEntry], epoch: int
     ) -> Generator[Event, None, None]:
         if entry is None:
             return
         sim = self.sim
         p = self.profile
-        client, window_slot, op = entry
+        client, window_slot, op, req_epoch = entry
         # Execute against the MICA partition (real bytes), charging the
         # memory time: prefetched accesses are cache hits.
         if op.op is OpType.GET:
@@ -163,11 +267,18 @@ class HerdServerProcess:
             value = None
         per_access = p.prefetch_hit_ns if self.config.prefetch else p.dram_ns
         yield sim.timeout(self.store.last_op_accesses * per_access)
+        if self.epoch != epoch:
+            # Crashed after executing but before responding.  A PUT may
+            # have landed in the store; re-execution after recovery is
+            # idempotent, so the re-scan repairs this cleanly.
+            return
         payload = encode_response(op.op, value)
         if self.config.retry_timeout_ns is not None:
             # Loss mode: completions can be reordered by retries, so the
-            # response identifies the window slot it answers.
-            payload = bytes([window_slot]) + payload
+            # response identifies the window slot it answers, plus the
+            # request's epoch byte — a delayed duplicate must not match
+            # a newer op that reused the slot.
+            payload = bytes([window_slot, req_epoch]) + payload
         yield from self._respond(client, payload)
         self.region.clear_slot(self.index, client, window_slot)
         self.responses += 1

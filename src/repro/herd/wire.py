@@ -42,18 +42,27 @@ _LEN = struct.Struct("<H")
 PUT_OK = b"\x01"
 
 
-def encode_get(keyhash: bytes) -> bytes:
-    """The trailing bytes a client WRITEs for a GET."""
+def encode_get(keyhash: bytes, epoch: Optional[int] = None) -> bytes:
+    """The trailing bytes a client WRITEs for a GET.
+
+    In loss mode (application retries enabled) the request carries a
+    one-byte slot *epoch* just before LEN: the client bumps it on every
+    reuse of a window slot and the server echoes it in the response, so
+    a delayed duplicate response can never be matched to a newer
+    operation that happens to reuse the same slot.
+    """
     _check_keyhash(keyhash)
-    return _LEN.pack(GET_MARKER) + keyhash
+    prefix = b"" if epoch is None else bytes([epoch & 0xFF])
+    return prefix + _LEN.pack(GET_MARKER) + keyhash
 
 
-def encode_put(keyhash: bytes, value: bytes) -> bytes:
+def encode_put(keyhash: bytes, value: bytes, epoch: Optional[int] = None) -> bytes:
     """The trailing bytes a client WRITEs for a PUT."""
     _check_keyhash(keyhash)
     if len(value) > GET_MARKER - 1:
         raise ValueError("value too large for the LEN field")
-    return value + _LEN.pack(len(value)) + keyhash
+    prefix = b"" if epoch is None else bytes([epoch & 0xFF])
+    return value + prefix + _LEN.pack(len(value)) + keyhash
 
 
 def request_write_offset(slot_bytes: int, payload: bytes) -> int:
@@ -61,18 +70,29 @@ def request_write_offset(slot_bytes: int, payload: bytes) -> int:
     return slot_bytes - len(payload)
 
 
-def decode_request(slot: bytes) -> Optional[Operation]:
-    """Decode a request slot; None if the slot is free (zero keyhash)."""
+def decode_request(slot: bytes, with_epoch: bool = False):
+    """Decode a request slot; None if the slot is free (zero keyhash).
+
+    With ``with_epoch`` (loss mode) returns ``(operation, epoch)``; the
+    epoch byte sits just before LEN (see :func:`encode_get`).
+    """
     keyhash = slot[-KEYHASH_BYTES:]
     if keyhash == b"\x00" * KEYHASH_BYTES:
-        return None
+        return (None, 0) if with_epoch else None
     (length,) = _LEN.unpack(slot[-TRAILER_BYTES:-KEYHASH_BYTES])
+    body_end = len(slot) - TRAILER_BYTES
+    epoch = 0
+    if with_epoch:
+        epoch = slot[body_end - 1]
+        body_end -= 1
     if length == GET_MARKER:
-        return Operation(OpType.GET, keyhash, None)
-    start = len(slot) - TRAILER_BYTES - length
-    if start < 0:
-        raise ValueError("corrupt request: LEN overruns the slot")
-    return Operation(OpType.PUT, keyhash, slot[start : len(slot) - TRAILER_BYTES])
+        op = Operation(OpType.GET, keyhash, None)
+    else:
+        start = body_end - length
+        if start < 0:
+            raise ValueError("corrupt request: LEN overruns the slot")
+        op = Operation(OpType.PUT, keyhash, slot[start:body_end])
+    return (op, epoch) if with_epoch else op
 
 
 def encode_response(op: OpType, value: Optional[bytes]) -> bytes:

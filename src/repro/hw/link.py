@@ -4,15 +4,24 @@ InfiniBand/RoCE links are lossless (credit-based / priority flow
 control, Section 2.2.3), so the fabric never drops packets on its own.
 Each machine has one full-duplex port: a transmit-side
 :class:`~repro.sim.FifoServer` models serialisation onto the wire, and a
-fixed propagation + switch delay follows.  An optional bit-error rate
-supports the failure-injection experiments (bit errors are the paper's
-only loss source; affected messages are simply dropped and it is the
-application's job to retry).
+fixed propagation + switch delay follows.
+
+Failure injection happens here.  The general mechanism is a *fault
+hook* — ``fn(src, dst, packet, wire_bytes) -> Optional[LinkVerdict]`` —
+installed by :mod:`repro.faults`; it can drop a packet before the wire,
+corrupt it (the receiving NIC's ICRC check discards it after it has
+burned wire and ingress capacity), duplicate it, or add extra delivery
+delay (reordering).  The legacy knobs ``bit_error_rate`` and
+``loss_filter`` are kept as thin wrappers over the same decision point:
+they are consulted only when no fault hook is installed, and express
+the paper's only loss source (bit errors; affected messages are simply
+dropped and it is the application's job to retry).
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.sim import FifoServer, Simulator
@@ -20,6 +29,30 @@ from repro.hw.params import HardwareProfile
 
 #: A delivery callback: receives the packet object.
 DeliverFn = Callable[[Any], None]
+
+
+@dataclass
+class LinkVerdict:
+    """What the fault layer decided about one packet transmission.
+
+    ``drop`` loses the packet before serialisation (egress bit error /
+    link down).  ``corrupt`` delivers the packet with its ``corrupt``
+    flag set — the receiving NIC discards it after the ICRC check, so
+    the packet still consumes wire and ingress-engine capacity.
+    ``duplicate`` delivers that many extra copies, each ``dup_delay_ns``
+    apart.  ``extra_delay_ns`` is added to the propagation delay, which
+    reorders the packet relative to later traffic.
+    """
+
+    drop: bool = False
+    corrupt: bool = False
+    duplicate: int = 0
+    extra_delay_ns: float = 0.0
+    dup_delay_ns: float = 0.0
+
+
+#: A fault hook: judges one transmission, None means "no opinion".
+FaultHook = Callable[[str, str, Any, int], Optional[LinkVerdict]]
 
 
 class Port:
@@ -53,12 +86,32 @@ class Fabric:
         self.profile = profile
         self.ports: Dict[str, Port] = {}
         #: probability that any one packet is corrupted on the wire
+        #: (legacy knob: a thin wrapper over the fault layer's drop
+        #: verdict, used when no fault hook is installed)
         self.bit_error_rate = 0.0
         #: optional fn(src, dst) -> loss rate, overriding the flat rate
         #: (lets failure-injection tests target one direction)
         self.loss_filter: Optional[Callable[[str, str], float]] = None
+        #: the systematic fault layer (repro.faults installs this);
+        #: takes precedence over the legacy knobs above
+        self.fault_hook: Optional[FaultHook] = None
         self._rng = random.Random(loss_seed)
         self.dropped = 0
+        self.corrupted = 0
+        self.duplicated = 0
+
+    @property
+    def lossy(self) -> bool:
+        """Whether any loss source is configured.
+
+        Reliable transports arm their retransmission timers off this —
+        in a lossless run the timers would only slow the simulator.
+        """
+        return (
+            self.bit_error_rate > 0
+            or self.loss_filter is not None
+            or self.fault_hook is not None
+        )
 
     def attach(self, name: str, deliver: DeliverFn) -> Port:
         """Register machine ``name`` and its packet-delivery handler."""
@@ -68,6 +121,24 @@ class Fabric:
         port.deliver = deliver
         self.ports[name] = port
         return port
+
+    def _judge(self, src: str, dst: str, packet: Any, wire_bytes: int) -> Optional[LinkVerdict]:
+        """One decision point for every loss source.
+
+        The fault hook wins when installed; otherwise the legacy knobs
+        (a flat bit-error rate, or a per-direction loss filter) roll
+        against the fabric's private RNG.
+        """
+        if self.fault_hook is not None:
+            return self.fault_hook(src, dst, packet, wire_bytes)
+        rate = (
+            self.loss_filter(src, dst)
+            if self.loss_filter is not None
+            else self.bit_error_rate
+        )
+        if rate and self._rng.random() < rate:
+            return LinkVerdict(drop=True)
+        return None
 
     def transmit(self, src: str, dst: str, packet: Any, wire_bytes: int) -> None:
         """Send ``packet`` from ``src`` to ``dst``.
@@ -80,14 +151,18 @@ class Fabric:
         port = self.ports[src]
         port.tx_packets += 1
         port.tx_bytes += wire_bytes
-        rate = (
-            self.loss_filter(src, dst)
-            if self.loss_filter is not None
-            else self.bit_error_rate
-        )
-        if rate and self._rng.random() < rate:
+        verdict = self._judge(src, dst, packet, wire_bytes)
+        if verdict is not None and verdict.drop:
             self.dropped += 1
             return
+        corrupt = verdict is not None and verdict.corrupt
+        if hasattr(packet, "corrupt"):
+            # The flag is re-stamped on every (re)transmission of the
+            # same packet object, so a retransmit starts clean.
+            packet.corrupt = corrupt
+        if corrupt:
+            self.corrupted += 1
+        extra_delay = verdict.extra_delay_ns if verdict is not None else 0.0
         tx_time = wire_bytes / self.profile.link_bw
         dst_port = self.ports[dst]
         tracer = getattr(self.sim, "tracer", None)
@@ -98,9 +173,19 @@ class Fabric:
                 self.sim.now + tx_time + self.profile.wire_delay_ns,
                 "%d bytes" % wire_bytes,
             )
+        delay = self.profile.wire_delay_ns + extra_delay
         served = port.tx.serve(tx_time)
         served.add_callback(
-            lambda _e: self.sim.call_in(
-                self.profile.wire_delay_ns, lambda: dst_port.deliver(packet)
-            )
+            lambda _e: self.sim.call_in(delay, lambda: dst_port.deliver(packet))
         )
+        if verdict is not None and verdict.duplicate > 0:
+            # Duplicates consume wire capacity like any other packet.
+            for copy in range(verdict.duplicate):
+                self.duplicated += 1
+                dup_delay = delay + (copy + 1) * verdict.dup_delay_ns
+                dup_served = port.tx.serve(tx_time)
+                dup_served.add_callback(
+                    lambda _e, _d=dup_delay: self.sim.call_in(
+                        _d, lambda: dst_port.deliver(packet)
+                    )
+                )

@@ -135,6 +135,24 @@ class Store:
             return self._items.popleft()
         return None
 
+    def clear(self) -> int:
+        """Discard all queued items; returns how many were dropped."""
+        n = len(self._items)
+        self._items.clear()
+        return n
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a waiting getter (e.g. its process crashed).
+
+        Returns True if the event was still waiting; False if it was
+        never queued here or has already been handed an item.
+        """
+        try:
+            self._getters.remove(event)
+            return True
+        except ValueError:
+            return False
+
     def __len__(self) -> int:
         return len(self._items)
 

@@ -32,6 +32,7 @@ from repro.verbs.types import (
     Cqe,
     CqeStatus,
     Opcode,
+    QpState,
     RecvRequest,
     Transport,
     VerbError,
@@ -45,6 +46,7 @@ __all__ = [
     "CqeStatus",
     "MemoryRegion",
     "Opcode",
+    "QpState",
     "QueuePair",
     "RdmaDevice",
     "RecvRequest",

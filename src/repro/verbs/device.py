@@ -32,7 +32,9 @@ from repro.verbs.packets import Packet, PacketKind
 from repro.verbs.qp import QueuePair
 from repro.verbs.types import (
     Cqe,
+    CqeStatus,
     Opcode,
+    QpState,
     RecvRequest,
     Transport,
     VerbError,
@@ -44,7 +46,7 @@ from repro.verbs.types import (
 #: has landed in host memory.
 Hook = Callable[[Packet], None]
 
-#: Retransmission timeout used only when the fabric injects bit errors.
+#: Retransmission timeout used only when the fabric injects faults.
 RC_RTO_NS = 100_000.0
 
 
@@ -63,12 +65,19 @@ class RdmaDevice:
         self.write_done_hook: Optional[Hook] = None
         self.send_done_hook: Optional[Hook] = None
         self.read_served_hook: Optional[Hook] = None
+        # Fault injection (repro.faults): when set, an inbound SEND for
+        # which this returns True is discarded as if no RECV were
+        # posted (an RNR condition at the receiver).
+        self.rnr_hook: Optional[Callable[[Packet], bool]] = None
         # Counters
         self.writes_received = 0
         self.sends_received = 0
         self.reads_served = 0
         self.acks_received = 0
+        self.duplicate_acks = 0
         self.retransmits = 0
+        self.icrc_drops = 0      # corrupted packets discarded at ingress
+        self.qp_error_drops = 0  # packets addressed to an ERROR-state QP
         # Observability (repro.obs): semantic verbs counters, None when
         # the simulator carries no metrics registry.
         self.metrics = getattr(self.sim, "metrics", None)
@@ -119,6 +128,20 @@ class RdmaDevice:
         rest of the datapath proceeds asynchronously.
         """
         self._validate_send(qp, wr)
+        if qp.state is QpState.ERROR:
+            # The QP was transitioned to the error state (fault
+            # injection): the WR is flushed, never reaching the wire.
+            qp.flushed_wrs += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "verbs.%s.flushed_wrs" % self.machine.name
+                ).inc()
+            if wr.signaled:
+                self._push_cqe(
+                    qp.send_cq,
+                    Cqe(wr.wr_id, wr.opcode, status=CqeStatus.FLUSH_ERROR),
+                )
+            return self.sim.timeout(0.0)
         tracer = getattr(self.sim, "tracer", None)
         if tracer is not None:
             tracer.mark(
@@ -294,7 +317,7 @@ class RdmaDevice:
         if not qp.transport.reliable and wr.signaled:
             # UC/UD: local completion once the NIC has taken the message.
             self._push_cqe(qp.send_cq, Cqe(wr.wr_id, wr.opcode, byte_len=wr.length))
-        if self.machine.fabric.bit_error_rate > 0 and qp.transport.reliable:
+        if self.machine.fabric.lossy and qp.transport.reliable:
             self._arm_retransmit(qp, packet)
 
     def _transmit(self, packet: Packet) -> None:
@@ -336,6 +359,33 @@ class RdmaDevice:
 
     def _on_packet(self, packet: Packet) -> None:
         p = self.profile
+        if packet.corrupt:
+            # The ICRC check fails on arrival: the NIC silently discards
+            # the frame before touching any QP context.  The wire
+            # bandwidth is already gone; charge only a header-sized
+            # ingress inspection.
+            served = self.machine.nic_ingress.serve(p.nic_ingress_ack_ns)
+
+            def on_discarded(_e: Event) -> None:
+                self.icrc_drops += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "verbs.%s.icrc_drops" % self.machine.name
+                    ).inc()
+
+            served.add_callback(on_discarded)
+            return
+        dst_qp = self.qps.get(packet.dst_qpn)
+        if dst_qp is not None and dst_qp.state is QpState.ERROR:
+            # Packets addressed to an error-state QP are dropped by the
+            # NIC (real hardware NAKs or silently discards, depending on
+            # transport; neither delivers to memory).
+            self.qp_error_drops += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "verbs.%s.qp_error_drops" % self.machine.name
+                ).inc()
+            return
         cache = self.machine.qp_cache
         requester = packet.kind not in (
             PacketKind.WRITE, PacketKind.SEND, PacketKind.READ_REQ
@@ -381,6 +431,12 @@ class RdmaDevice:
         qp = self.qps.get(packet.dst_qpn)
         if qp is None:
             raise VerbError("SEND to unknown QP %d" % packet.dst_qpn)
+        if self.rnr_hook is not None and self.rnr_hook(packet):
+            # Injected RECV-queue exhaustion: the message is discarded
+            # exactly as if the application had fallen behind on
+            # replenishing RECVs (an RNR drop on these transports).
+            qp.rnr_drops += 1
+            return
         if not qp.recv_queue:
             # No pre-posted RECV: the message is dropped (we forgo RNR
             # retries, as the paper's designs never let this happen).
@@ -479,6 +535,7 @@ class RdmaDevice:
         self.acks_received += 1
         qp = self.qps.get(packet.dst_qpn)
         if qp is None or not qp.unacked:
+            self.duplicate_acks += 1
             return  # duplicate ACK after a retransmit; harmless
         wr = qp.unacked.popleft()
         setattr(wr, "_acked", True)

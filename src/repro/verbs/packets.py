@@ -38,6 +38,7 @@ class Packet:
         "length",
         "psn",
         "wr",
+        "corrupt",
     )
 
     def __init__(
@@ -67,6 +68,9 @@ class Packet:
         self.length = length
         self.psn = psn
         self.wr = wr
+        #: set by the fabric's fault layer: the payload was damaged on
+        #: the wire, so the receiving NIC's ICRC check will discard it
+        self.corrupt = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<Packet %s %s %s:%d -> %s:%d len=%d>" % (

@@ -15,7 +15,7 @@ from collections import deque
 from typing import Deque, Optional, Tuple
 
 from repro.verbs.cq import CompletionQueue
-from repro.verbs.types import RecvRequest, Transport, VerbError, WorkRequest
+from repro.verbs.types import QpState, RecvRequest, Transport, VerbError, WorkRequest
 
 
 class QueuePair:
@@ -47,10 +47,13 @@ class QueuePair:
         #: order, so a payload DMA fetch must not let later (e.g.
         #: inlined) WQEs overtake this one onto the wire
         self.send_gate = None
+        #: RTS normally; ERROR after a fault until :meth:`recover`
+        self.state = QpState.RTS
         # statistics
         self.sends_posted = 0
         self.recvs_posted = 0
         self.rnr_drops = 0  # SENDs that arrived with no RECV posted
+        self.flushed_wrs = 0  # sends posted while in the ERROR state
 
     def connect(self, machine_name: str, qpn: int) -> None:
         """Bind this connected QP to its one peer."""
@@ -75,6 +78,23 @@ class QueuePair:
         if wr.ah is not None:
             raise VerbError("address handles are only for unconnected transports")
         return self.peer
+
+    # -- error state --------------------------------------------------------
+
+    def transition_to_error(self) -> None:
+        """Move the QP to the ERROR state (fault injection).
+
+        From here every posted send is flushed (a FLUSH_ERROR CQE when
+        signaled) and inbound packets addressed to this QP are
+        discarded.  Pre-posted RECVs are kept: this models the common
+        recovery path where the application re-arms the same QP rather
+        than tearing it down.
+        """
+        self.state = QpState.ERROR
+
+    def recover(self) -> None:
+        """Re-arm an ERROR QP (modelling the app's RESET->RTS walk)."""
+        self.state = QpState.RTS
 
     # -- READ credits -------------------------------------------------------
 

@@ -74,6 +74,23 @@ class CqeStatus(enum.Enum):
     SUCCESS = "SUCCESS"
     LOCAL_ERROR = "LOCAL_ERROR"
     REMOTE_ACCESS_ERROR = "REMOTE_ACCESS_ERROR"
+    #: the WR was flushed because its QP had transitioned to the error
+    #: state (IBV_WC_WR_FLUSH_ERR)
+    FLUSH_ERROR = "FLUSH_ERROR"
+
+
+class QpState(enum.Enum):
+    """Queue-pair state, reduced to the two states the model needs.
+
+    Real QPs walk RESET -> INIT -> RTR -> RTS; this model creates QPs
+    ready to send.  A fault (or ``transition_to_error``) moves the QP
+    to ERROR: posted sends are flushed and inbound packets addressed to
+    it are discarded until the application re-arms it with
+    :meth:`~repro.verbs.qp.QueuePair.recover`.
+    """
+
+    RTS = "RTS"
+    ERROR = "ERROR"
 
 
 @dataclass

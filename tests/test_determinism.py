@@ -29,6 +29,47 @@ def test_different_seeds_agree_within_noise():
     assert max(results) - min(results) < 0.1 * max(results)
 
 
+def test_fault_injection_does_not_perturb_workload_streams():
+    """Satellite of the fault-injection PR: every randomness source has
+    a named child stream of the cluster seed, so turning faults on must
+    not change which keys the workload draws — only how many draws fit
+    in the horizon.  The faulty run's key sequence per client must be a
+    prefix-compatible match of the clean run's."""
+    from repro.faults import FaultPlan
+
+    def record_keys(with_faults: bool):
+        cluster = HerdCluster(
+            HerdConfig(
+                n_server_processes=2, window=4, retry_timeout_ns=30_000.0
+            ),
+            n_client_machines=2,
+            seed=77,
+        )
+        cluster.add_clients(4, Workload(get_fraction=0.5, value_size=32, n_keys=256))
+        cluster.preload(range(256), 32)
+        if with_faults:
+            cluster.install_faults(
+                FaultPlan(seed=77).drop(rate=0.05).duplicate(rate=0.02)
+            )
+        keys = [[] for _ in cluster.clients]
+        for client in cluster.clients:
+            def next_op(_orig=client.stream.next_op, _log=keys[client.client_id]):
+                op = _orig()
+                _log.append(op.key)
+                return op
+
+            client.stream.next_op = next_op
+        cluster.run(warmup_ns=0, measure_ns=150_000)
+        return keys
+
+    clean = record_keys(with_faults=False)
+    faulty = record_keys(with_faults=True)
+    for c_keys, f_keys in zip(clean, faulty):
+        n = min(len(c_keys), len(f_keys))
+        assert n > 20
+        assert c_keys[:n] == f_keys[:n]
+
+
 def test_microbenchmarks_are_deterministic():
     a = inbound_throughput("WRITE", Transport.UC, 32)
     b = inbound_throughput("WRITE", Transport.UC, 32)

@@ -1,0 +1,77 @@
+"""The chaos harness: seeded runs, invariants, and the CLI gate."""
+
+import pytest
+
+from repro.bench.cli import main
+from repro.faults import FaultPlan, run_chaos
+from repro.herd import HerdConfig
+
+
+# Short horizons keep each run in the low hundreds of milliseconds of
+# wall clock while still exercising loss, duplication, and a crash.
+HORIZON = 150_000.0
+
+
+@pytest.mark.parametrize("seed", [0, 7, 19])
+def test_chaos_runs_end_green_across_seeds(seed):
+    report = run_chaos(seed=seed, horizon_ns=HORIZON)
+    assert report.ok, report.violations
+    assert report.issued == report.completed + report.abandoned
+    assert report.completed > 0
+    assert report.fingerprint
+
+
+def test_chaos_same_seed_reproduces_the_fingerprint():
+    a = run_chaos(seed=11, horizon_ns=HORIZON)
+    b = run_chaos(seed=11, horizon_ns=HORIZON)
+    assert a.ok and b.ok
+    assert a.fingerprint == b.fingerprint
+    assert (a.issued, a.completed, a.retries) == (b.issued, b.completed, b.retries)
+    assert a.fault_counts == b.fault_counts
+
+
+def test_chaos_different_seeds_diverge():
+    a = run_chaos(seed=1, horizon_ns=HORIZON)
+    b = run_chaos(seed=2, horizon_ns=HORIZON)
+    assert a.fingerprint != b.fingerprint
+
+
+def test_chaos_with_a_crash_records_the_recovery():
+    plan = (
+        FaultPlan(seed=5)
+        .drop(dst="server", rate=0.02)
+        .crash_server(0, at_ns=40_000.0, down_ns=40_000.0)
+    )
+    report = run_chaos(seed=5, horizon_ns=HORIZON, plan=plan)
+    assert report.ok, report.violations
+    assert report.server_crashes == 1
+    assert report.server_recoveries == 1
+
+
+def test_chaos_requires_retries():
+    with pytest.raises(ValueError):
+        run_chaos(config=HerdConfig(retry_timeout_ns=None))
+
+
+def test_chaos_report_summary_mentions_the_verdict():
+    report = run_chaos(seed=3, horizon_ns=HORIZON)
+    text = report.summary()
+    assert "OK" in text or "VIOLATED" in text
+    assert str(report.issued) in text
+
+
+def test_cli_chaos_smoke(capsys):
+    rc = main(
+        [
+            "--chaos",
+            "--chaos-seed",
+            "7",
+            "--chaos-runs",
+            "1",
+            "--chaos-horizon",
+            str(HORIZON),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "chaos" in out.lower()

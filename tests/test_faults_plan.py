@@ -1,0 +1,171 @@
+"""The FaultPlan DSL, named RNG streams, and config validation."""
+
+import pytest
+
+from repro.faults import FaultPlan, child_rng, derive_seed
+from repro.faults.plan import DROP
+from repro.herd import HerdConfig
+
+
+# ---------------------------------------------------------------------------
+# Named child RNG streams
+# ---------------------------------------------------------------------------
+
+
+def test_derive_seed_is_stable_and_named():
+    assert derive_seed(42, "faults.link") == derive_seed(42, "faults.link")
+    assert derive_seed(42, "faults.link") != derive_seed(42, "faults.rnr")
+    assert derive_seed(42, "faults.link") != derive_seed(43, "faults.link")
+    assert 0 <= derive_seed(0, "x") < 2 ** 64
+
+
+def test_child_rng_streams_are_independent():
+    a = child_rng(7, "a")
+    b = child_rng(7, "b")
+    draws_a = [a.random() for _ in range(10)]
+    # Interleaving draws from b must not change a's future draws.
+    a2 = child_rng(7, "a")
+    b2 = child_rng(7, "b")
+    interleaved = []
+    for _ in range(10):
+        interleaved.append(a2.random())
+        b2.random()
+    assert draws_a == interleaved
+
+
+# ---------------------------------------------------------------------------
+# Plan construction
+# ---------------------------------------------------------------------------
+
+
+def test_builders_chain_and_validate():
+    plan = FaultPlan(seed=1).drop(rate=0.5).corrupt(rate=0.1).duplicate(rate=0.2)
+    assert len(plan.link_rules) == 3
+    with pytest.raises(ValueError):
+        plan.drop(rate=1.5)
+    with pytest.raises(ValueError):
+        plan.duplicate(copies=0)
+    with pytest.raises(ValueError):
+        plan.delay(-1.0)
+    with pytest.raises(ValueError):
+        plan.nic_stall("server", engine="sideways", at_ns=0, duration_ns=1)
+    with pytest.raises(ValueError):
+        plan.crash_server(-1, at_ns=0, down_ns=1)
+
+
+def test_empty_property():
+    assert FaultPlan().empty
+    assert not FaultPlan().drop(rate=0.1).empty
+
+
+def test_rule_matching_by_direction_kind_and_window():
+    plan = FaultPlan().drop(
+        src="a", dst="b", rate=1.0, start_ns=100.0, end_ns=200.0, packet_kind="ACK"
+    )
+    (rule,) = plan.link_rules
+    assert rule.matches("a", "b", "ACK", 150.0)
+    assert not rule.matches("a", "b", "ACK", 99.0)   # before the window
+    assert not rule.matches("a", "b", "ACK", 200.0)  # end is exclusive
+    assert not rule.matches("x", "b", "ACK", 150.0)  # wrong source
+    assert not rule.matches("a", "b", "WRITE", 150.0)  # wrong packet kind
+
+
+def test_flap_is_sugar_for_two_windowed_drops():
+    plan = FaultPlan().flap_link("cm1", at_ns=1_000.0, down_ns=500.0)
+    drops = [r for r in plan.link_rules if r.kind == DROP]
+    assert len(drops) == 2
+    assert {r.src for r in drops} == {"cm1", "*"}
+    assert {r.dst for r in drops} == {"cm1", "*"}
+    assert all(r.start_ns == 1_000.0 and r.end_ns == 1_500.0 for r in drops)
+    assert all(r.tag == "flap" for r in drops)
+
+
+def test_describe_lists_every_rule():
+    plan = (
+        FaultPlan(seed=3)
+        .drop(dst="server", rate=0.02)
+        .nic_stall("server", engine="ingress", at_ns=10.0, duration_ns=5.0)
+        .crash_server(1, at_ns=100.0, down_ns=50.0)
+    )
+    text = plan.describe()
+    assert "seed=3" in text
+    assert "drop" in text and "nic-stall" in text and "crash" in text
+
+
+def test_clamped_closes_open_windows():
+    plan = FaultPlan().drop(rate=0.1).rnr("cm0", rate=0.5)
+    clamped = plan.clamped(1_000.0)
+    assert all(r.end_ns == 1_000.0 for r in clamped.link_rules)
+    assert all(r.end_ns == 1_000.0 for r in clamped.rnr_rules)
+    # The original is untouched.
+    assert all(r.end_ns > 1_000.0 for r in plan.link_rules)
+
+
+def test_randomized_plans_are_deterministic():
+    a = FaultPlan.randomized(9, 100_000.0, n_server_processes=4, rnr_machine="cm0")
+    b = FaultPlan.randomized(9, 100_000.0, n_server_processes=4, rnr_machine="cm0")
+    assert a.link_rules == b.link_rules
+    assert a.nic_stalls == b.nic_stalls
+    assert a.rnr_rules == b.rnr_rules
+    assert a.crashes == b.crashes
+    c = FaultPlan.randomized(10, 100_000.0, n_server_processes=4, rnr_machine="cm0")
+    assert c.link_rules != a.link_rules
+
+
+def test_randomized_crash_needs_a_sibling():
+    alone = FaultPlan.randomized(1, 100_000.0, n_server_processes=1)
+    assert not alone.crashes
+    many = FaultPlan.randomized(1, 100_000.0, n_server_processes=4)
+    (crash,) = many.crashes
+    assert 0 <= crash.server_index < 4
+    assert crash.at_ns + crash.down_ns < 100_000.0
+
+
+# ---------------------------------------------------------------------------
+# HerdConfig validation
+# ---------------------------------------------------------------------------
+
+
+def test_retry_timeout_accepts_none_and_rejects_nonpositive():
+    assert HerdConfig(retry_timeout_ns=None).retry_timeout_ns is None
+    assert HerdConfig(retry_timeout_ns=1e4).retry_timeout_ns == 1e4
+    with pytest.raises(ValueError):
+        HerdConfig(retry_timeout_ns=0.0)
+    with pytest.raises(ValueError):
+        HerdConfig(retry_timeout_ns=-5.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n_server_processes=0),
+        dict(window=0),
+        dict(window=256),  # the slot-id byte caps the window at 255
+        dict(slot_bytes=16),
+        dict(index_entries=0),
+        dict(log_bytes=0),
+        dict(noop_after_polls=0),
+        dict(pipeline_depth=0),
+        dict(request_transport="RC"),
+        dict(retry_backoff=0.5),
+        dict(retry_jitter=1.5),
+        dict(retry_jitter=-0.1),
+        dict(retry_budget=0),
+        dict(min_retry_timeout_ns=0.0),
+    ],
+)
+def test_config_rejects_invalid_numeric_fields(kwargs):
+    with pytest.raises(ValueError):
+        HerdConfig(**kwargs)
+
+
+def test_config_accepts_the_resilience_knobs():
+    cfg = HerdConfig(
+        retry_timeout_ns=2e4,
+        retry_backoff=1.5,
+        retry_jitter=0.2,
+        retry_budget=3,
+        adaptive_retry=True,
+        min_retry_timeout_ns=1e4,
+    )
+    assert cfg.retry_budget == 3 and cfg.adaptive_retry
