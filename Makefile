@@ -1,6 +1,6 @@
 # Convenience targets for the HERD reproduction.
 
-.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke clean
+.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke lab-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -47,6 +47,24 @@ chaos-smoke:
 		assert counters, 'no faults.* counters exported'; \
 		print('chaos-smoke ok: %d runs, %d fault counters' \
 		% (len(m['runs']), len(counters)))"
+
+# The lab gate, end to end: a 4-point parallel sweep lands in the
+# result store, a re-run must be served entirely from cache, the
+# committed baseline must pass (writing BENCH_lab.json, the repo's
+# perf trajectory), and a deliberately perturbed baseline must fail.
+lab-smoke:
+	python -m repro.lab.cli run smoke --workers 2 --timeout 300
+	python -m repro.lab.cli run smoke --workers 2 --quiet \
+		| grep -q "(4 cached, 0 ran, 0 failed)"
+	python -m repro.lab.cli gate smoke \
+		--baseline benchmarks/baselines/lab-smoke.json
+	python -c "import json; b = json.load(open('benchmarks/baselines/lab-smoke.json')); \
+		label = sorted(b['points'])[0]; b['points'][label]['mops'] *= 1.5; \
+		json.dump(b, open('/tmp/herd-lab-perturbed.json', 'w'))"
+	! python -m repro.lab.cli gate smoke \
+		--baseline /tmp/herd-lab-perturbed.json \
+		--bench-json /tmp/herd-lab-perturbed-bench.json
+	@echo "lab-smoke ok: gate passed on committed baseline, failed on perturbed"
 
 clean:
 	rm -rf benchmarks/out .pytest_cache .hypothesis

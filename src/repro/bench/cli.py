@@ -46,6 +46,24 @@ def resolve_experiments(requested: List[str]) -> List[str]:
     return resolved
 
 
+def _describe(fn) -> str:
+    """The first docstring line, as the experiment's one-line summary."""
+    doc = (fn.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def _list_experiments() -> int:
+    """``herd-bench --list``: every valid id with what it reproduces."""
+    print("tables:")
+    for exp_id in sorted(TABLES):
+        print("  %-8s %s" % (exp_id, _describe(TABLES[exp_id])))
+    print("figures:")
+    for exp_id in sorted(FIGURES):
+        print("  %-8s %s" % (exp_id, _describe(FIGURES[exp_id])))
+    print("(or 'all'; sweeps of these run under herd-lab, see docs/LAB.md)")
+    return 0
+
+
 def _run_chaos(args) -> int:
     """``herd-bench --chaos``: seeded chaos runs with invariant checks."""
     from repro.faults import run_chaos
@@ -181,9 +199,7 @@ def main(argv=None) -> int:
         return _run_chaos(args)
 
     if args.list or not args.experiments:
-        print("tables:  " + "  ".join(sorted(TABLES)))
-        print("figures: " + "  ".join(sorted(FIGURES)))
-        return 0
+        return _list_experiments()
 
     try:
         wanted = resolve_experiments(args.experiments)

@@ -14,11 +14,24 @@ class Series:
     #: (x, y) pairs; x may be a number or a category string
     points: List[Tuple[object, float]]
 
-    def y_for(self, x: object) -> float:
+    def _index(self) -> dict:
+        """x -> y, first occurrence winning; rebuilt if points changed."""
+        cached = self.__dict__.get("_by_x")
+        if cached is not None and cached[0] == len(self.points):
+            return cached[1]
+        by_x: dict = {}
         for px, py in self.points:
-            if px == x:
-                return py
-        raise KeyError("no point at x=%r in series %r" % (x, self.label))
+            by_x.setdefault(px, py)
+        self.__dict__["_by_x"] = (len(self.points), by_x)
+        return by_x
+
+    def y_for(self, x: object) -> float:
+        try:
+            return self._index()[x]
+        except KeyError:
+            raise KeyError("no point at x=%r in series %r" % (x, self.label))
+        except TypeError:  # unhashable x: nothing in points can match it
+            raise KeyError("no point at x=%r in series %r" % (x, self.label))
 
 
 @dataclass
@@ -41,11 +54,11 @@ class FigureData:
 
 def format_figure(fig: FigureData, width: int = 10) -> str:
     """Render a figure as an aligned text table (x rows, series columns)."""
-    xs: List[object] = []
-    for s in fig.series:
-        for x, _y in s.points:
-            if x not in xs:
-                xs.append(x)
+    # dict preserves first-seen order and makes the collection O(points)
+    # rather than O(points^2); full-scale sweeps render many x values
+    xs = list(
+        dict.fromkeys(x for s in fig.series for x, _y in s.points)
+    )
     lines = []
     lines.append("%s — %s" % (fig.exp_id, fig.title))
     header = ("%-14s" % fig.x_label) + "".join(

@@ -1,0 +1,44 @@
+"""``repro.lab`` — parallel experiment orchestration.
+
+The lab turns the repo's one-shot harnesses (figure cells, chaos runs,
+HERD measurement points) into *sweeps*: declarative grids of points
+that run in parallel, cache their results in an append-only store, and
+gate the repo against perf regressions.  See docs/LAB.md.
+"""
+
+from repro.lab.gate import (
+    DEFAULT_TOLERANCES,
+    GateReport,
+    capture_baseline,
+    check,
+    load_baseline,
+    write_baseline,
+    write_bench_json,
+)
+from repro.lab.runner import SweepOutcome, run_sweep
+from repro.lab.spec import BUILTIN_SPECS, Axis, Point, SweepSpec, resolve_spec
+from repro.lab.store import ResultStore, code_version, point_key
+from repro.lab.tasks import TASKS, headline, metric_direction
+
+__all__ = [
+    "Axis",
+    "BUILTIN_SPECS",
+    "DEFAULT_TOLERANCES",
+    "GateReport",
+    "Point",
+    "ResultStore",
+    "SweepOutcome",
+    "SweepSpec",
+    "TASKS",
+    "capture_baseline",
+    "check",
+    "code_version",
+    "headline",
+    "load_baseline",
+    "metric_direction",
+    "point_key",
+    "resolve_spec",
+    "run_sweep",
+    "write_baseline",
+    "write_bench_json",
+]

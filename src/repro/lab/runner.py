@@ -1,0 +1,332 @@
+"""Parallel sweep execution.
+
+The runner expands a :class:`~repro.lab.spec.SweepSpec`, drops every
+point whose cache key already has a successful record in the store,
+and executes the rest — either serially in-process (``workers=1``) or
+on a ``ProcessPoolExecutor``.  Both paths must produce *identical*
+result records (the determinism test in ``tests/test_lab_runner.py``
+compares the stores byte-for-byte modulo volatile fields); the
+simulator is deterministic per seed, so this holds as long as points
+never share state — which is why each point runs under its own
+:func:`repro.obs.session.capture` and the parallel path ships nothing
+between points but the payload dict.
+
+Records are appended to the store **in point order**, not completion
+order: completed results are buffered until every earlier point has
+finished, so the store file is reproducible and a cancelled run leaves
+a clean prefix.
+
+Failure handling:
+
+* a point that raises is recorded with ``status="error"`` (and not
+  cached, so the next run retries it);
+* a worker process that *dies* (segfault, OOM-kill) breaks the pool;
+  the runner rebuilds the pool and resubmits the in-flight points, up
+  to ``max_attempts`` per point, after which the point is recorded as
+  ``status="crashed"``;
+* a point that exceeds ``timeout_s`` is recorded as
+  ``status="timeout"``; its worker pool is torn down (the only way to
+  reclaim the stuck process) and the other in-flight points are
+  resubmitted.  The serial path cannot preempt a running point — it
+  records the overrun after the fact instead;
+* Ctrl-C cancels gracefully: pending points are dropped, finished
+  results are flushed, and the interrupt is re-raised.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import sys
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.lab.spec import Point, SweepSpec
+from repro.lab.store import ResultStore, code_version, point_key
+
+#: default per-point timeout: generous for figure-sized points, small
+#: enough that a hung sweep fails the same day it starts
+DEFAULT_TIMEOUT_S = 600.0
+
+
+def _execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one point; top-level so the process pool can pickle it."""
+    from repro.lab.tasks import TASKS
+
+    started = time.time()
+    record = dict(payload)
+    try:
+        metrics = TASKS[payload["task"]](dict(payload["params"]), payload["seed"])
+        record.update(status="ok", metrics=metrics, error=None)
+    except Exception as error:  # recorded, not raised: one bad point
+        record.update(            # must not kill a thousand-point sweep
+            status="error",
+            metrics={},
+            error="%s: %s" % (type(error).__name__, error),
+        )
+    record["wall_s"] = round(time.time() - started, 3)
+    return record
+
+
+@dataclass
+class SweepOutcome:
+    """What :func:`run_sweep` did and found."""
+
+    spec: SweepSpec
+    points: List[Point]
+    #: label -> latest successful record, cached and fresh alike
+    results: Dict[str, Dict[str, Any]]
+    n_cached: int = 0
+    n_ran: int = 0
+    n_failed: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.n_failed == 0
+
+
+class _Progress:
+    def __init__(self, enabled: bool, total: int, spec_name: str) -> None:
+        self.enabled = enabled
+        self.total = total
+        self.spec_name = spec_name
+        self.done = 0
+
+    def line(self, point: Point, status: str, detail: str = "") -> None:
+        self.done += 1
+        if not self.enabled:
+            return
+        print(
+            "[lab %s] %d/%d %s %s%s"
+            % (
+                self.spec_name,
+                self.done,
+                self.total,
+                point.label,
+                status,
+                " " + detail if detail else "",
+            ),
+            file=sys.stderr,
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    force: bool = False,
+    progress: bool = True,
+    max_attempts: int = 3,
+) -> SweepOutcome:
+    """Execute ``spec``, reusing cached points; returns the outcome."""
+    if store is None:
+        store = ResultStore()
+    if workers < 1:
+        raise ValueError("workers must be >= 1; got %r" % (workers,))
+    if timeout_s <= 0:
+        raise ValueError("timeout_s must be > 0; got %r" % (timeout_s,))
+    points = spec.points()
+    code = code_version()
+    cached = {} if force else store.completed(spec.name)
+    outcome = SweepOutcome(spec=spec, points=points, results={})
+    report = _Progress(progress, len(points), spec.name)
+
+    payloads: List[Dict[str, Any]] = []
+    for point in points:
+        key = point_key(point, code)
+        if key in cached:
+            outcome.results[point.label] = cached[key]
+            outcome.n_cached += 1
+            report.line(point, "cached")
+            continue
+        payloads.append(
+            {
+                "key": key,
+                "spec": spec.name,
+                "point": point.index,
+                "label": point.label,
+                "task": point.task,
+                "params": point.params,
+                "seed": point.seed,
+                "code": code,
+            }
+        )
+
+    if not payloads:
+        return outcome
+
+    # in-order flush machinery: buffer finished records, append to the
+    # store only once every earlier point's record is present
+    by_index: Dict[int, Dict[str, Any]] = {}
+    flush_order = [p["point"] for p in payloads]
+    flushed = 0
+
+    def flush(final: bool = False) -> None:
+        nonlocal flushed
+        ready: List[Dict[str, Any]] = []
+        while flushed < len(flush_order) and flush_order[flushed] in by_index:
+            ready.append(by_index.pop(flush_order[flushed]))
+            flushed += 1
+        if final:  # cancelled run: keep whatever finished, in order
+            for index in sorted(by_index):
+                ready.append(by_index.pop(index))
+        store.append(spec.name, ready)
+
+    def account(record: Dict[str, Any], point: Point, detail: str = "") -> None:
+        by_index[record["point"]] = record
+        if record["status"] == "ok":
+            outcome.results[point.label] = record
+            outcome.n_ran += 1
+            summary = ", ".join(
+                "%s=%.4g" % (k, v)
+                for k, v in sorted(record["metrics"].items())
+                if not k.startswith("obs/")
+            )
+            report.line(point, "ok", "%.2fs %s%s" % (record["wall_s"], summary, detail))
+        else:
+            outcome.n_failed += 1
+            failure = "%s: %s (%s)" % (
+                point.label,
+                record["status"],
+                record.get("error") or "no error text",
+            )
+            outcome.failures.append(failure)
+            report.line(point, record["status"].upper(), record.get("error") or "")
+
+    point_by_index = {p.index: p for p in points}
+    try:
+        if workers == 1:
+            _run_serial(payloads, point_by_index, timeout_s, account, flush)
+        else:
+            _run_parallel(
+                payloads, point_by_index, workers, timeout_s, max_attempts,
+                account, flush,
+            )
+    except KeyboardInterrupt:
+        flush(final=True)
+        raise
+    flush(final=True)
+    return outcome
+
+
+def _run_serial(payloads, point_by_index, timeout_s, account, flush) -> None:
+    for payload in payloads:
+        record = _execute_point(payload)
+        record["attempts"] = 1
+        if record["status"] == "ok" and record["wall_s"] > timeout_s:
+            record["status"] = "timeout"
+            record["error"] = (
+                "point took %.1fs (> %.1fs); serial mode cannot preempt"
+                % (record["wall_s"], timeout_s)
+            )
+            record["metrics"] = {}
+        account(record, point_by_index[payload["point"]])
+        flush()
+
+
+def _run_parallel(
+    payloads, point_by_index, workers, timeout_s, max_attempts, account, flush
+) -> None:
+    queue: List[Dict[str, Any]] = list(payloads)
+    attempts: Dict[int, int] = {p["point"]: 0 for p in payloads}
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    futures: Dict[concurrent.futures.Future, Dict[str, Any]] = {}
+    started: Dict[concurrent.futures.Future, float] = {}
+
+    def submit_up_to_capacity() -> bool:
+        """False when the pool turned out to be broken at submit time."""
+        while queue and len(futures) < workers:
+            payload = queue.pop(0)
+            attempts[payload["point"]] += 1
+            try:
+                future = pool.submit(_execute_point, payload)
+            except BrokenProcessPool:
+                attempts[payload["point"]] -= 1
+                queue.insert(0, payload)
+                return False
+            futures[future] = payload
+            started[future] = time.time()
+        return True
+
+    def fail(payload: Dict[str, Any], status: str, error: str) -> None:
+        record = dict(payload)
+        record.update(
+            status=status, metrics={}, error=error, wall_s=0.0,
+            attempts=attempts[payload["point"]],
+        )
+        account(record, point_by_index[payload["point"]])
+
+    def rebuild_pool() -> List[Dict[str, Any]]:
+        """Tear the pool down hard; returns the in-flight payloads."""
+        nonlocal pool
+        inflight = list(futures.values())
+        for process in list(getattr(pool, "_processes", {}).values() or []):
+            try:
+                process.terminate()
+            except OSError:
+                pass
+        pool.shutdown(wait=False)
+        futures.clear()
+        started.clear()
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        return inflight
+
+    def requeue_or_fail(payload: Dict[str, Any], why: str) -> None:
+        if attempts[payload["point"]] >= max_attempts:
+            fail(payload, "crashed", "%s (%d attempts)" % (why, max_attempts))
+        else:
+            queue.append(payload)
+
+    try:
+        while futures or queue:
+            if not submit_up_to_capacity():
+                for payload in rebuild_pool():
+                    requeue_or_fail(payload, "worker process died")
+                continue
+            done, _pending = concurrent.futures.wait(
+                list(futures),
+                timeout=0.05,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            broken = False
+            for future in done:
+                payload = futures.pop(future)
+                started.pop(future, None)
+                try:
+                    record = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    requeue_or_fail(payload, "worker process died")
+                    continue
+                except Exception as error:  # pool-level failure
+                    fail(payload, "error", "%s: %s" % (type(error).__name__, error))
+                    continue
+                record["attempts"] = attempts[payload["point"]]
+                account(record, point_by_index[payload["point"]])
+            if broken:
+                for payload in rebuild_pool():
+                    requeue_or_fail(payload, "worker process died")
+            now = time.time()
+            timed_out = [
+                future for future, t0 in started.items()
+                if now - t0 > timeout_s
+            ]
+            if timed_out:
+                # the stuck workers can only be reclaimed by tearing the
+                # whole pool down; innocent in-flight points are rerun
+                stuck_points = {futures[f]["point"] for f in timed_out}
+                for payload in rebuild_pool():
+                    if payload["point"] in stuck_points:
+                        fail(
+                            payload, "timeout",
+                            "exceeded %.1fs timeout" % timeout_s,
+                        )
+                    else:
+                        attempts[payload["point"]] -= 1  # not its fault
+                        queue.append(payload)
+            flush()
+    finally:
+        pool.shutdown(wait=False)

@@ -1,0 +1,136 @@
+"""The append-only result store.
+
+Results live under ``benchmarks/out/lab/<spec-name>.jsonl`` — one JSON
+record per line, appended as points finish (in point order, so a sweep
+run twice with different worker counts writes byte-identical files
+modulo the volatile wall-clock fields).
+
+Every record is keyed by a **content hash** over the point's identity
+(task, resolved params, seed) *and* the code version (a hash of every
+``repro`` source file).  Re-running a sweep therefore skips any point
+whose key is already present — zero recomputation — while any code
+change invalidates the whole cache without anyone having to remember
+to clear it.  The file is append-only: newer records with the same key
+win at load time, and old lines remain as history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.lab.spec import Point, canonical
+
+#: default store directory, relative to the current working directory
+DEFAULT_ROOT = os.path.join("benchmarks", "out", "lab")
+
+#: record fields that may differ between runs of identical points
+#: (stripped by :func:`canonical_record` for determinism comparisons)
+VOLATILE_FIELDS = ("wall_s", "finished_at", "worker", "attempts")
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """A 16-hex digest over every ``repro`` source file.
+
+    Hashing the tree (rather than a VCS revision) keeps the cache
+    correct in working copies with uncommitted edits and in
+    installations without git metadata.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(hashlib.sha256(fh.read()).digest())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def point_key(point: Point, code: Optional[str] = None) -> str:
+    """The cache key: sha256 over (identity, code version)."""
+    if code is None:
+        code = code_version()
+    payload = canonical({"identity": point.identity(), "code": code})
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def canonical_record(record: Dict[str, Any]) -> str:
+    """A record as deterministic JSON, volatile fields stripped."""
+    kept = {k: v for k, v in record.items() if k not in VOLATILE_FIELDS}
+    return canonical(kept)
+
+
+class ResultStore:
+    """JSONL result files under ``root``, one per spec."""
+
+    def __init__(self, root: str = DEFAULT_ROOT) -> None:
+        self.root = root
+
+    def path(self, spec_name: str) -> str:
+        return os.path.join(self.root, "%s.jsonl" % spec_name)
+
+    def records(self, spec_name: str) -> Iterator[Dict[str, Any]]:
+        """Every record in append order (including superseded ones)."""
+        path = self.path(spec_name)
+        if not os.path.exists(path):
+            return
+        with open(path) as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    raise ValueError(
+                        "corrupt result store %s at line %d" % (path, lineno)
+                    )
+
+    def load(self, spec_name: str) -> Dict[str, Dict[str, Any]]:
+        """Latest record per cache key (newest line wins)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for record in self.records(spec_name):
+            out[record["key"]] = record
+        return out
+
+    def completed(self, spec_name: str) -> Dict[str, Dict[str, Any]]:
+        """Latest *successful* record per cache key."""
+        return {
+            key: record
+            for key, record in self.load(spec_name).items()
+            if record.get("status") == "ok"
+        }
+
+    def append(self, spec_name: str, records: List[Dict[str, Any]]) -> None:
+        if not records:
+            return
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.path(spec_name), "a") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+
+    def latest_by_label(self, spec_name: str) -> Dict[str, Dict[str, Any]]:
+        """Latest successful record per point *label* (any code version).
+
+        Labels are the stable identity the gate and ``show`` use; keys
+        are per-code-version and only drive caching.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for record in self.records(spec_name):
+            if record.get("status") == "ok":
+                out[record["label"]] = record
+        return out

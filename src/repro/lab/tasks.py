@@ -1,0 +1,169 @@
+"""Lab tasks: what one sweep point actually runs.
+
+A task takes a resolved parameter dict plus the point seed and returns
+a flat ``{metric_name: value}`` dict.  Three tasks cover the repo's
+harnesses:
+
+* ``herd`` — one :func:`repro.bench.figures.run_herd` cell; headline
+  metrics are ``mops``, ``p50_us``, ``p99_us`` (the gate's defaults);
+* ``chaos`` — one :func:`repro.faults.run_chaos` run; ``ok`` must stay
+  1.0 and the completion counters are tracked;
+* ``figure`` — a whole figure from :data:`repro.bench.figures.FIGURES`,
+  flattened to one metric per ``series/x`` cell, so every existing
+  figure is lab-runnable (cached, parallel, gated) without changes.
+
+Every task runs inside :func:`repro.obs.session.capture`, so each point
+also reports the simulated clock and op counters of its run — the
+per-point slice of the observability layer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict
+
+from repro.obs import session as obs
+
+#: metric names whose larger values are better (throughput-like);
+#: latency-like names (``*_us``/``*_ns``) are better smaller, and
+#: anything else is gated in both directions
+HIGHER_IS_BETTER = ("mops", "ops", "completed", "ok")
+
+
+def metric_direction(name: str) -> int:
+    """+1 if larger is better, -1 if smaller is better, 0 if two-sided."""
+    short = name.rsplit("/", 1)[-1]
+    if short in HIGHER_IS_BETTER:
+        return 1
+    if short.endswith(("_us", "_ns")) or short in ("retries", "abandoned", "violations"):
+        return -1
+    return 0
+
+
+def _obs_metrics(session: obs.ObsSession) -> Dict[str, float]:
+    """A compact, deterministic digest of a point's captured runs."""
+    sim_ns = 0.0
+    herd_ops = 0
+    for run in session.runs:
+        if run.registry is None:
+            continue
+        snapshot = run.registry.snapshot()
+        sim_ns += snapshot.get("sim_time_ns", 0.0)
+        for name, value in snapshot.get("counters", {}).items():
+            if name.startswith("herd.server") and name.endswith(".ops"):
+                herd_ops += value
+    out = {"obs/sim_time_ns": sim_ns}
+    if herd_ops:
+        out["obs/server_ops"] = float(herd_ops)
+    return out
+
+
+def run_herd_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    from repro.bench.figures import run_herd
+
+    kwargs = dict(params)
+    kwargs.setdefault("seed", seed)
+    with obs.capture(metrics=True) as session:
+        result = run_herd(**kwargs)
+    metrics = {
+        "mops": result.mops,
+        "ops": float(result.ops),
+        "mean_us": result.latency["mean_us"],
+        "p50_us": result.latency["p50_us"],
+        "p99_us": result.latency["p99_us"],
+    }
+    metrics.update(_obs_metrics(session))
+    return metrics
+
+
+def run_chaos_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    from repro.faults import run_chaos
+
+    kwargs = dict(params)
+    kwargs.setdefault("seed", seed)
+    with obs.capture(metrics=True) as session:
+        report = run_chaos(**kwargs)
+    metrics = {
+        "ok": 1.0 if report.ok else 0.0,
+        "completed": float(report.completed),
+        "retries": float(report.retries),
+        "abandoned": float(report.abandoned),
+        "violations": float(len(report.violations)),
+    }
+    metrics.update(_obs_metrics(session))
+    return metrics
+
+
+def run_figure_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    from repro.bench.figures import FIGURES
+
+    kwargs = dict(params)
+    figure_id = kwargs.pop("figure", None)
+    if figure_id not in FIGURES:
+        raise ValueError(
+            "figure task needs a 'figure' param in %s; got %r"
+            % (sorted(FIGURES), figure_id)
+        )
+    with obs.capture(metrics=True) as session:
+        data = FIGURES[figure_id](**kwargs)
+    metrics: Dict[str, float] = {}
+    for series in data.series:
+        for x, y in series.points:
+            if isinstance(y, (int, float)) and math.isfinite(y):
+                metrics["%s/%s" % (series.label, x)] = float(y)
+    metrics.update(_obs_metrics(session))
+    return metrics
+
+
+def run_selftest_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """A microsecond-scale task for exercising the lab machinery itself.
+
+    Deterministic in (params, seed) like every task, but its
+    ``behavior`` param can simulate the runner's failure modes:
+    ``"raise"`` throws, ``"exit"`` kills the worker process outright
+    (a stand-in for a segfault), ``"sleep"`` hangs for ``sleep_s``
+    seconds.  Used by the test suite and handy for smoke-testing a
+    sweep definition before pointing it at real experiments.
+    """
+    import os
+    import time
+
+    from repro.faults.rng import child_rng
+
+    behavior = params.get("behavior", "ok")
+    if behavior == "raise":
+        raise RuntimeError("selftest point asked to fail")
+    if behavior == "exit":
+        os._exit(17)
+    if behavior == "sleep":
+        time.sleep(float(params.get("sleep_s", 60.0)))
+    value = float(params.get("value", 1.0))
+    return {
+        "value": value,
+        "mops": value * 2.0,
+        "seed_draw": round(child_rng(seed, "lab.selftest").random(), 12),
+    }
+
+
+TASKS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, float]]] = {
+    "herd": run_herd_task,
+    "chaos": run_chaos_task,
+    "figure": run_figure_task,
+    "selftest": run_selftest_task,
+}
+
+#: metrics the gate compares by default, per task (others are informational)
+HEADLINE_METRICS = {
+    "herd": ("mops", "p50_us", "p99_us"),
+    "chaos": ("ok", "completed"),
+    "figure": None,  # None = every figure cell is a headline metric
+    "selftest": ("mops", "value"),
+}
+
+
+def headline(task: str, metrics: Dict[str, float]) -> Dict[str, float]:
+    """The subset of ``metrics`` the gate compares for ``task``."""
+    wanted = HEADLINE_METRICS.get(task)
+    if wanted is None:
+        return {k: v for k, v in metrics.items() if not k.startswith("obs/")}
+    return {k: metrics[k] for k in wanted if k in metrics}

@@ -43,9 +43,81 @@ def test_format_figure_contains_all_points_and_gaps():
     assert "note: hello" in text
 
 
+def test_format_figure_missing_point_cells():
+    # A series that skips interior and trailing x values renders "-" in
+    # exactly those cells, and real values everywhere else.
+    fig = FigureData(
+        "figY",
+        "Gaps",
+        "x",
+        "y",
+        [
+            Series("full", [(1, 1.0), (2, 2.0), (3, 3.0)]),
+            Series("sparse", [(2, 9.0)]),
+        ],
+    )
+    rows = {
+        line.split()[0]: line.split()[1:]
+        for line in format_figure(fig).splitlines()
+        if line and line.split()[0] in ("1", "2", "3")
+    }
+    assert rows["1"] == ["1.00", "-"]
+    assert rows["2"] == ["2.00", "9.00"]
+    assert rows["3"] == ["3.00", "-"]
+
+
+def test_format_figure_x_order_is_first_seen():
+    # x values are collected across series in first-seen order, not
+    # sorted: later series only append x values the earlier ones lack.
+    fig = FigureData(
+        "figZ",
+        "Order",
+        "x",
+        "y",
+        [
+            Series("a", [(4, 1.0), (2, 1.0)]),
+            Series("b", [(2, 2.0), (9, 2.0)]),
+        ],
+    )
+    lines = format_figure(fig).splitlines()
+    order = [l.split()[0] for l in lines if l and l.split()[0] in "429"]
+    assert order == ["4", "2", "9"]
+
+
+def test_series_y_for_duplicate_x_returns_first():
+    series = Series("dup", [(1, 10.0), (1, 20.0)])
+    assert series.y_for(1) == 10.0
+
+
+def test_series_y_for_sees_appended_points():
+    # The x-index is rebuilt when the point list grows.
+    series = Series("grow", [(1, 1.0)])
+    assert series.y_for(1) == 1.0
+    series.points.append((2, 4.0))
+    assert series.y_for(2) == 4.0
+
+
 def test_format_matrix():
     text = format_matrix("T", ["r1"], ["c1", "c2"], [["yes", "no"]])
     assert "T" in text and "yes" in text and "no" in text
+
+
+def test_format_matrix_alignment():
+    # Columns are 8 wide and right-aligned under their headers; the
+    # rule spans the full header; rows pad the 12-char name column.
+    text = format_matrix(
+        "T", ["short", "longer-name?"], ["c1", "c2"], [["a", "bb"], ["ccc", "d"]]
+    )
+    title, header, rule, row1, row2 = text.splitlines()
+    assert len(rule) == len(header)
+    assert set(rule) == {"-"}
+    # each cell's last character sits in the same column as its header's
+    for col in ("c1", "c2"):
+        anchor = header.index(col) + len(col) - 1
+        assert row1.rstrip()[anchor] in "ab"
+        assert row2.rstrip()[anchor] in "cd"
+    assert row1.startswith("short" + " " * (12 - len("short")))
+    assert row2.startswith("longer-name?")
 
 
 def test_table1_text():

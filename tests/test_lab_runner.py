@@ -1,0 +1,170 @@
+"""Runner behavior: determinism, caching, and the failure paths."""
+
+import json
+
+import pytest
+
+from repro.lab import Axis, ResultStore, SweepSpec, resolve_spec, run_sweep
+from repro.lab.store import canonical_record
+
+
+def selftest_spec(n=6, name="st"):
+    return SweepSpec(
+        name=name, task="selftest",
+        axes=[Axis("value", [float(i + 1) for i in range(n)])],
+    )
+
+
+def canonical_store(store, spec_name):
+    return [canonical_record(r) for r in store.records(spec_name)]
+
+
+def sweep(spec, tmp_path, sub, **kw):
+    store = ResultStore(str(tmp_path / sub))
+    outcome = run_sweep(spec, store=store, progress=False, **kw)
+    return store, outcome
+
+
+def test_parallel_matches_serial_bit_for_bit(tmp_path):
+    spec = selftest_spec()
+    serial_store, serial = sweep(spec, tmp_path, "serial", workers=1)
+    parallel_store, parallel = sweep(spec, tmp_path, "parallel", workers=3)
+    assert serial.ok and parallel.ok
+    assert canonical_store(serial_store, "st") == canonical_store(parallel_store, "st")
+
+
+@pytest.mark.slow
+def test_smoke_sweep_parallel_matches_serial(tmp_path):
+    # the acceptance-criteria determinism check on real HERD points
+    spec = resolve_spec("smoke")
+    serial_store, serial = sweep(spec, tmp_path, "serial", workers=1)
+    parallel_store, parallel = sweep(spec, tmp_path, "parallel", workers=4)
+    assert serial.ok and parallel.ok
+    assert canonical_store(serial_store, "smoke") == canonical_store(
+        parallel_store, "smoke"
+    )
+
+
+def test_rerun_serves_everything_from_cache(tmp_path):
+    spec = selftest_spec()
+    store = ResultStore(str(tmp_path / "lab"))
+    first = run_sweep(spec, store=store, progress=False)
+    assert first.n_ran == len(spec.points())
+    lines_before = open(store.path("st")).read()
+    again = run_sweep(spec, store=store, progress=False, workers=2)
+    assert again.n_ran == 0
+    assert again.n_cached == len(spec.points())
+    # zero recomputation also means zero new store lines
+    assert open(store.path("st")).read() == lines_before
+    assert again.results.keys() == first.results.keys()
+
+
+def test_force_recomputes_every_point(tmp_path):
+    spec = selftest_spec(n=2)
+    store = ResultStore(str(tmp_path / "lab"))
+    run_sweep(spec, store=store, progress=False)
+    forced = run_sweep(spec, store=store, progress=False, force=True)
+    assert forced.n_ran == 2 and forced.n_cached == 0
+
+
+def test_growing_a_sweep_only_runs_new_points(tmp_path):
+    store = ResultStore(str(tmp_path / "lab"))
+    run_sweep(selftest_spec(n=2), store=store, progress=False)
+    grown = run_sweep(selftest_spec(n=3), store=store, progress=False)
+    assert grown.n_cached == 2 and grown.n_ran == 1
+
+
+def test_raising_point_is_recorded_and_retried_next_run(tmp_path):
+    spec = SweepSpec(
+        name="st", task="selftest",
+        axes=[Axis("behavior", ["ok", "raise"])],
+    )
+    store = ResultStore(str(tmp_path / "lab"))
+    outcome = run_sweep(spec, store=store, progress=False)
+    assert outcome.n_ran == 1 and outcome.n_failed == 1
+    assert any("RuntimeError" in f for f in outcome.failures)
+    records = {r["label"]: r for r in store.records("st")}
+    bad = records["selftest(behavior=\"raise\")"]
+    assert bad["status"] == "error" and "selftest point asked to fail" in bad["error"]
+    # errors are not cached: the next run retries exactly the failed point
+    retry = run_sweep(spec, store=store, progress=False)
+    assert retry.n_cached == 1 and retry.n_failed == 1
+
+
+def test_worker_crash_is_retried_then_reported(tmp_path):
+    spec = SweepSpec(
+        name="st", task="selftest", axes=[Axis("behavior", ["exit"])]
+    )
+    store = ResultStore(str(tmp_path / "lab"))
+    outcome = run_sweep(
+        spec, store=store, progress=False, workers=2, max_attempts=2
+    )
+    assert outcome.n_failed == 1
+    (record,) = store.records("st")
+    assert record["status"] == "crashed"
+    assert record["attempts"] == 2
+    assert "worker process died" in record["error"]
+
+
+def test_timeout_kills_the_point_but_not_the_sweep(tmp_path):
+    spec = SweepSpec(
+        name="st", task="selftest",
+        axes=[
+            Axis("behavior", ["sleep", "ok", "ok2"], mode="zip"),
+            Axis("value", [1.0, 2.0, 3.0], mode="zip"),
+            Axis("sleep_s", [30.0, 0.0, 0.0], mode="zip"),
+        ],
+    )
+    store = ResultStore(str(tmp_path / "lab"))
+    outcome = run_sweep(
+        spec, store=store, progress=False, workers=2, timeout_s=0.5
+    )
+    records = {r["params"]["behavior"]: r for r in store.records("st")}
+    assert records["sleep"]["status"] == "timeout"
+    assert records["ok"]["status"] == "ok"
+    assert records["ok2"]["status"] == "ok"
+    assert outcome.n_failed == 1 and outcome.n_ran == 2
+
+
+def test_serial_timeout_is_reported_after_the_fact(tmp_path):
+    spec = SweepSpec(
+        name="st", task="selftest",
+        base={"behavior": "sleep", "sleep_s": 0.2},
+        axes=[Axis("value", [1.0])],
+    )
+    store = ResultStore(str(tmp_path / "lab"))
+    outcome = run_sweep(spec, store=store, progress=False, timeout_s=0.05)
+    (record,) = store.records("st")
+    assert record["status"] == "timeout"
+    assert "cannot preempt" in record["error"]
+    assert outcome.n_failed == 1
+
+
+def test_records_are_written_in_point_order(tmp_path):
+    spec = selftest_spec(n=5)
+    store = ResultStore(str(tmp_path / "lab"))
+    run_sweep(spec, store=store, progress=False, workers=3)
+    indexes = [r["point"] for r in store.records("st")]
+    assert indexes == sorted(indexes)
+
+
+def test_run_sweep_validates_arguments(tmp_path):
+    store = ResultStore(str(tmp_path / "lab"))
+    with pytest.raises(ValueError, match="workers"):
+        run_sweep(selftest_spec(1), store=store, workers=0)
+    with pytest.raises(ValueError, match="timeout"):
+        run_sweep(selftest_spec(1), store=store, timeout_s=0.0)
+
+
+def test_selftest_metrics_depend_on_seed(tmp_path):
+    spec_a = SweepSpec(name="a", task="selftest", axes=[Axis("value", [1.0])])
+    spec_b = SweepSpec(
+        name="b", task="selftest", axes=[Axis("value", [1.0])], seed=1
+    )
+    store = ResultStore(str(tmp_path / "lab"))
+    ra = run_sweep(spec_a, store=store, progress=False)
+    rb = run_sweep(spec_b, store=store, progress=False)
+    (a,) = ra.results.values()
+    (b,) = rb.results.values()
+    assert a["metrics"]["seed_draw"] != b["metrics"]["seed_draw"]
+    assert a["metrics"]["value"] == b["metrics"]["value"]

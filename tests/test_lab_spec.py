@@ -1,0 +1,133 @@
+"""Sweep-spec expansion, labels, and per-point seed derivation."""
+
+import json
+
+import pytest
+
+from repro.faults.rng import derive_seed
+from repro.lab import BUILTIN_SPECS, Axis, SweepSpec, resolve_spec
+
+
+def test_grid_axes_cross_product_in_order():
+    spec = SweepSpec(
+        name="t", task="selftest",
+        axes=[Axis("a", [1, 2]), Axis("b", ["x", "y"])],
+    )
+    combos = [(p.params["a"], p.params["b"]) for p in spec.points()]
+    assert combos == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+    assert [p.index for p in spec.points()] == [0, 1, 2, 3]
+
+
+def test_zip_axes_advance_in_lockstep():
+    spec = SweepSpec(
+        name="t", task="selftest",
+        axes=[
+            Axis("a", [1, 2], mode="zip"),
+            Axis("b", ["x", "y"], mode="zip"),
+        ],
+    )
+    combos = [(p.params["a"], p.params["b"]) for p in spec.points()]
+    assert combos == [(1, "x"), (2, "y")]
+
+
+def test_grid_and_zip_compose():
+    spec = SweepSpec(
+        name="t", task="selftest",
+        axes=[
+            Axis("g", [10, 20]),
+            Axis("a", [1, 2], mode="zip"),
+            Axis("b", ["x", "y"], mode="zip"),
+        ],
+    )
+    combos = [(p.params["g"], p.params["a"], p.params["b"]) for p in spec.points()]
+    assert combos == [(10, 1, "x"), (10, 2, "y"), (20, 1, "x"), (20, 2, "y")]
+
+
+def test_zip_axes_must_match_lengths():
+    with pytest.raises(ValueError, match="zip axes"):
+        SweepSpec(
+            name="t", task="selftest",
+            axes=[Axis("a", [1], mode="zip"), Axis("b", [1, 2], mode="zip")],
+        )
+
+
+def test_axis_validation():
+    with pytest.raises(ValueError, match="mode"):
+        Axis("a", [1], mode="diagonal")
+    with pytest.raises(ValueError, match="no values"):
+        Axis("a", [])
+    with pytest.raises(ValueError, match="duplicate"):
+        SweepSpec(name="t", task="selftest", axes=[Axis("a", [1]), Axis("a", [2])])
+    with pytest.raises(ValueError, match="unknown task"):
+        SweepSpec(name="t", task="teleport")
+
+
+def test_base_params_flow_into_every_point():
+    spec = SweepSpec(
+        name="t", task="selftest", base={"value": 7.0}, axes=[Axis("a", [1, 2])]
+    )
+    assert all(p.params["value"] == 7.0 for p in spec.points())
+
+
+def test_labels_are_stable_and_param_sorted():
+    spec = SweepSpec(name="t", task="selftest", axes=[Axis("b", [1]), Axis("a", [2])])
+    (point,) = spec.points()
+    assert point.label == "selftest(a=2,b=1)"
+
+
+def test_seeds_derive_from_spec_seed_and_label():
+    spec = SweepSpec(name="t", task="selftest", axes=[Axis("a", [1, 2])], seed=5)
+    points = spec.points()
+    assert points[0].seed == derive_seed(5, points[0].label)
+    assert points[0].seed != points[1].seed
+    # a different spec seed reseeds every point
+    reseeded = SweepSpec(
+        name="t", task="selftest", axes=[Axis("a", [1, 2])], seed=6
+    ).points()
+    assert reseeded[0].seed != points[0].seed
+
+
+def test_explicit_seed_param_wins():
+    spec = SweepSpec(
+        name="t", task="selftest", axes=[Axis("seed", [3, 4])], seed=99
+    )
+    assert [p.seed for p in spec.points()] == [3, 4]
+
+
+def test_adding_an_axis_value_keeps_existing_seeds():
+    # seeds key on the label, not the index, so growing a sweep never
+    # invalidates the cached prefix
+    small = SweepSpec(name="t", task="selftest", axes=[Axis("a", [1, 2])])
+    grown = SweepSpec(name="t", task="selftest", axes=[Axis("a", [1, 2, 3])])
+    by_label = {p.label: p.seed for p in grown.points()}
+    for point in small.points():
+        assert by_label[point.label] == point.seed
+
+
+def test_dict_roundtrip(tmp_path):
+    spec = SweepSpec(
+        name="rt", task="selftest", base={"value": 2.0},
+        axes=[Axis("a", [1, 2], mode="zip")], seed=3, description="d",
+    )
+    clone = SweepSpec.from_dict(spec.to_dict())
+    assert [p.label for p in clone.points()] == [p.label for p in spec.points()]
+    assert [p.seed for p in clone.points()] == [p.seed for p in spec.points()]
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    assert SweepSpec.from_file(str(path)).name == "rt"
+    with pytest.raises(ValueError, match="missing required field"):
+        SweepSpec.from_dict({"name": "x"})
+
+
+def test_resolve_spec():
+    assert resolve_spec("smoke").name == "smoke"
+    with pytest.raises(ValueError, match="unknown spec"):
+        resolve_spec("nope")
+
+
+def test_builtin_specs_expand():
+    for name, factory in BUILTIN_SPECS.items():
+        spec = factory()
+        points = spec.points()
+        assert points, name
+        assert len({p.label for p in points}) == len(points), name

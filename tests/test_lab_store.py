@@ -1,0 +1,109 @@
+"""Result-store semantics: cache keys, append-only files, volatility."""
+
+import json
+
+import pytest
+
+from repro.lab import Axis, ResultStore, SweepSpec, code_version, point_key
+from repro.lab.store import VOLATILE_FIELDS, canonical_record
+
+
+def two_points():
+    return SweepSpec(
+        name="t", task="selftest", axes=[Axis("value", [1.0, 2.0])]
+    ).points()
+
+
+def test_point_key_depends_on_identity_and_code():
+    a, b = two_points()
+    assert point_key(a) != point_key(b)
+    assert point_key(a) == point_key(a)
+    # a code change invalidates every key; same identity, same code -> same key
+    assert point_key(a, code="cafe") != point_key(a, code="beef")
+    reseeded = SweepSpec(
+        name="t", task="selftest", axes=[Axis("value", [1.0, 2.0])], seed=1
+    ).points()[0]
+    assert point_key(reseeded) != point_key(a)
+
+
+def test_code_version_is_stable_and_hexish():
+    assert code_version() == code_version()
+    assert len(code_version()) == 16
+    int(code_version(), 16)
+
+
+def record_for(point, status="ok", **extra):
+    record = {
+        "key": point_key(point),
+        "label": point.label,
+        "spec": "t",
+        "point": point.index,
+        "task": point.task,
+        "params": point.params,
+        "seed": point.seed,
+        "status": status,
+        "metrics": {"value": 1.0},
+        "error": None,
+        "wall_s": 0.1,
+    }
+    record.update(extra)
+    return record
+
+
+def test_append_load_and_newest_wins(tmp_path):
+    store = ResultStore(str(tmp_path / "lab"))
+    a, b = two_points()
+    store.append("t", [record_for(a)])
+    store.append("t", [record_for(b, status="error")])
+    assert set(store.load("t")) == {point_key(a), point_key(b)}
+    assert set(store.completed("t")) == {point_key(a)}
+    # append-only: a newer record with the same key supersedes at load
+    newer = record_for(a)
+    newer["metrics"] = {"value": 9.0}
+    store.append("t", [newer])
+    assert store.load("t")[point_key(a)]["metrics"]["value"] == 9.0
+    assert len(list(store.records("t"))) == 3
+
+
+def test_latest_by_label_keeps_only_successes(tmp_path):
+    store = ResultStore(str(tmp_path / "lab"))
+    a, b = two_points()
+    store.append("t", [record_for(a), record_for(b, status="timeout")])
+    by_label = store.latest_by_label("t")
+    assert a.label in by_label and b.label not in by_label
+
+
+def test_missing_store_is_empty(tmp_path):
+    store = ResultStore(str(tmp_path / "lab"))
+    assert store.load("never-ran") == {}
+
+
+def test_corrupt_line_raises_with_location(tmp_path):
+    store = ResultStore(str(tmp_path / "lab"))
+    (a, _b) = two_points()
+    store.append("t", [record_for(a)])
+    with open(store.path("t"), "a") as fh:
+        fh.write("{not json\n")
+    with pytest.raises(ValueError, match="line 2"):
+        list(store.records("t"))
+
+
+def test_canonical_record_strips_volatile_fields():
+    a, _b = two_points()
+    fast = record_for(a, wall_s=0.1, finished_at="x", worker=1, attempts=1)
+    slow = record_for(a, wall_s=9.9, finished_at="y", worker=4, attempts=2)
+    assert canonical_record(fast) == canonical_record(slow)
+    for volatile in VOLATILE_FIELDS:
+        assert '"%s"' % volatile not in canonical_record(fast)
+    # but a metric difference shows through
+    other = record_for(a)
+    other["metrics"] = {"value": 2.0}
+    assert canonical_record(other) != canonical_record(fast)
+
+
+def test_store_lines_are_sorted_json(tmp_path):
+    store = ResultStore(str(tmp_path / "lab"))
+    a, _b = two_points()
+    store.append("t", [record_for(a)])
+    (line,) = open(store.path("t")).read().splitlines()
+    assert line == json.dumps(json.loads(line), sort_keys=True)
