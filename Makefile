@@ -1,6 +1,6 @@
 # Convenience targets for the HERD reproduction.
 
-.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke lab-smoke clean
+.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -47,6 +47,25 @@ chaos-smoke:
 		assert counters, 'no faults.* counters exported'; \
 		print('chaos-smoke ok: %d runs, %d fault counters' \
 		% (len(m['runs']), len(counters)))"
+
+# A replicated cluster loses its primary mid-load: every acked write
+# must survive, the history must check out linearizable, availability
+# must stay above 99%, and the same seed twice must yield the same
+# fingerprint (which pins failover timing, not just op counts).
+ha-smoke:
+	python -c "from repro.faults import run_chaos; \
+		kw = dict(seed=11, scenario='kill-primary', horizon_ns=300000.0, \
+		n_clients=4, n_items=64, value_size=24, n_server_processes=2, \
+		intensity=0.5, replication_factor=3, ack_policy='majority'); \
+		a = run_chaos(**kw); b = run_chaos(**kw); \
+		print(a.summary()); \
+		assert a.ok, a.violations; \
+		assert a.checker == 'linearizable', a.checker; \
+		assert a.ops_lost == 0, '%d acked writes lost' % a.ops_lost; \
+		assert a.availability > 0.99, 'availability %.4f' % a.availability; \
+		assert a.fingerprint == b.fingerprint, 'nondeterministic fingerprint'; \
+		print('ha-smoke ok: %d acked, 0 lost, availability %.4f, fingerprint %s' \
+		% (a.ops_acked, a.availability, a.fingerprint[:16]))"
 
 # The lab gate, end to end: a 4-point parallel sweep lands in the
 # result store, a re-run must be served entirely from cache, the

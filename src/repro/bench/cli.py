@@ -64,12 +64,43 @@ def _list_experiments() -> int:
     return 0
 
 
+def _outcome_table(rows) -> str:
+    """The per-scenario outcome table printed after ``--chaos`` runs."""
+    header = ("scenario", "seed", "acked", "lost", "availability", "checker", "verdict")
+    cells = [header] + [
+        (
+            str(row["scenario"]),
+            str(row["seed"]),
+            str(row["ops_acked"]),
+            str(row["ops_lost"]),
+            "%.4f" % row["availability"],
+            str(row["checker"]),
+            str(row["verdict"]),
+        )
+        for row in rows
+    ]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in cells
+    )
+
+
 def _run_chaos(args) -> int:
     """``herd-bench --chaos``: seeded chaos runs with invariant checks."""
     from repro.faults import run_chaos
+    from repro.faults.chaos import HA_SCENARIOS
+
+    if args.chaos_scenario == "all":
+        scenarios = list(HA_SCENARIOS)
+    elif args.chaos_scenario:
+        scenarios = [args.chaos_scenario]
+    else:
+        scenarios = [None]
 
     session = None
     failures = 0
+    rows = []
     with contextlib.ExitStack() as stack:
         if args.metrics or args.trace:
             from repro.obs import session as obs
@@ -83,18 +114,30 @@ def _run_chaos(args) -> int:
             )
         for i in range(args.chaos_runs):
             seed = args.chaos_seed + i
-            if session is not None:
-                session.label = "chaos-%d" % seed
-            started = time.time()
-            report = run_chaos(
-                seed=seed,
-                horizon_ns=args.chaos_horizon,
-                intensity=args.chaos_intensity,
-            )
-            print(report.summary())
-            print("[chaos seed=%d took %.1f s]\n" % (seed, time.time() - started))
-            if not report.ok:
-                failures += 1
+            for scenario in scenarios:
+                if session is not None:
+                    session.label = "chaos-%d" % seed
+                    if scenario:
+                        session.label += "-" + scenario
+                started = time.time()
+                report = run_chaos(
+                    seed=seed,
+                    horizon_ns=args.chaos_horizon,
+                    intensity=args.chaos_intensity,
+                    scenario=scenario,
+                    replication_factor=args.chaos_replication,
+                    ack_policy=args.chaos_ack,
+                )
+                print(report.summary())
+                print(
+                    "[chaos seed=%d took %.1f s]\n" % (seed, time.time() - started)
+                )
+                rows.append(report.outcome_row())
+                if not report.ok:
+                    failures += 1
+    if len(rows) > 1 or scenarios != [None]:
+        print(_outcome_table(rows))
+        print()
     if session is not None:
         if args.metrics:
             session.write_metrics(args.metrics)
@@ -107,7 +150,7 @@ def _run_chaos(args) -> int:
             print("trace: %s" % args.trace)
     if failures:
         print(
-            "%d of %d chaos runs violated invariants" % (failures, args.chaos_runs),
+            "%d of %d chaos runs violated invariants" % (failures, len(rows)),
             file=sys.stderr,
         )
         return 1
@@ -192,6 +235,30 @@ def main(argv=None) -> int:
         default=1.0,
         metavar="X",
         help="scale factor on the randomized fault rates (default 1.0)",
+    )
+    parser.add_argument(
+        "--chaos-scenario",
+        choices=("kill-primary", "partition-primary", "all"),
+        default=None,
+        metavar="S",
+        help="run a replicated (HA) cluster and target its primary: "
+        "kill-primary, partition-primary, or all (default: classic "
+        "unreplicated chaos); the linearizability checker gates the "
+        "result and a per-scenario outcome table is printed",
+    )
+    parser.add_argument(
+        "--chaos-replication",
+        type=int,
+        default=3,
+        metavar="RF",
+        help="replicas per partition for --chaos-scenario runs (default 3)",
+    )
+    parser.add_argument(
+        "--chaos-ack",
+        choices=("all", "majority"),
+        default="majority",
+        help="replication ack policy for --chaos-scenario runs "
+        "(default majority)",
     )
     args = parser.parse_args(argv)
 

@@ -28,13 +28,42 @@ fine because loss is rare and the application retries):
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+import struct
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.faults.plan import FaultPlan
+from repro.faults.rng import child_rng
 from repro.herd.cluster import HerdCluster
 from repro.herd.config import HerdConfig, partition_of
 from repro.workloads.ycsb import OpType, Workload, keyhash, value_for
+
+#: named fault scenarios for replicated (HA) chaos runs
+HA_SCENARIOS = ("kill-primary", "partition-primary")
+
+
+class _TaggedStream:
+    """Wraps a workload stream, making every PUT value unique.
+
+    Linearizability checking needs to tell writes apart: two clients
+    PUTting the deterministic ``value_for`` bytes would be
+    indistinguishable.  The first 6 bytes of each PUT value become
+    ``(counter, client_id)``; the inner stream's RNG is untouched, so
+    tagging never perturbs the op sequence.
+    """
+
+    def __init__(self, inner, client_id: int) -> None:
+        self.inner = inner
+        self.client_id = client_id
+        self.counter = 0
+
+    def next_op(self):
+        op = self.inner.next_op()
+        if op.op is not OpType.PUT:
+            return op
+        tag = struct.pack("<IH", self.counter, self.client_id)
+        self.counter += 1
+        return replace(op, value=tag + op.value[len(tag):])
 
 
 @dataclass
@@ -57,10 +86,38 @@ class ChaosReport:
     fault_counts: Dict[str, int] = field(default_factory=dict)
     violations: List[str] = field(default_factory=list)
     fingerprint: str = ""
+    # -- replicated (HA) runs only; defaults keep classic runs unchanged
+    scenario: Optional[str] = None
+    replication_factor: int = 1
+    ack_policy: str = ""
+    ops_acked: int = 0
+    ops_lost: int = 0
+    checker: str = ""  # "linearizable" | "violated" ("" = unreplicated)
+    availability: float = 1.0
+    failover_latency_ns: float = 0.0
+    promotions: int = 0
+    stale_nacks: int = 0
+    replays: int = 0
+    #: RunReport when the run was observed (obs capture active); carries
+    #: the outcome row so metrics exports include the chaos verdict
+    obs: Optional[object] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    def outcome_row(self) -> Dict[str, object]:
+        """One row of the per-scenario outcome table (bench --chaos)."""
+        return {
+            "scenario": self.scenario or "randomized",
+            "seed": self.seed,
+            "ops_acked": self.ops_acked if self.scenario else self.completed,
+            "ops_lost": self.ops_lost,
+            "checker": self.checker or "n/a",
+            "verdict": "OK" if self.ok else "FAILED",
+            "availability": self.availability,
+            "failover_latency_ns": self.failover_latency_ns,
+        }
 
     def summary(self) -> str:
         lines = [
@@ -80,6 +137,31 @@ class ChaosReport:
             ),
             "  fingerprint %s" % self.fingerprint[:16],
         ]
+        if self.scenario is not None:
+            lines.insert(
+                1,
+                "  scenario %s (rf=%d, ack=%s): %d acked, %d lost, checker %s"
+                % (
+                    self.scenario,
+                    self.replication_factor,
+                    self.ack_policy,
+                    self.ops_acked,
+                    self.ops_lost,
+                    self.checker or "n/a",
+                ),
+            )
+            lines.insert(
+                2,
+                "  availability %.4f, %d promotions (mean failover %.1f us), "
+                "%d stale nacks, %d replays"
+                % (
+                    self.availability,
+                    self.promotions,
+                    self.failover_latency_ns / 1000.0,
+                    self.stale_nacks,
+                    self.replays,
+                ),
+            )
         for violation in self.violations:
             lines.append("  VIOLATION: %s" % violation)
         return "\n".join(lines)
@@ -97,6 +179,12 @@ def run_chaos(
     crash: bool = True,
     plan: Optional[FaultPlan] = None,
     config: Optional[HerdConfig] = None,
+    scenario: Optional[str] = None,
+    replication_factor: int = 3,
+    ack_policy: str = "majority",
+    lease_us: float = 5.0,
+    heartbeat_us: float = 1.0,
+    n_server_processes: Optional[int] = None,
 ) -> ChaosReport:
     """One seeded chaos run; see the module docstring for the checks.
 
@@ -105,33 +193,89 @@ def run_chaos(
     unlimited for the drain-liveness invariant to be checkable — pass a
     custom ``config`` to experiment with budgets, at the cost of
     abandoned ops being excluded from the accounting identity only.
+
+    Passing ``scenario`` switches to a *replicated* run: the cluster is
+    built with ``replication_factor`` replicas per partition, the named
+    fault scenario is layered on top of reduced-intensity background
+    noise, every PUT value is made unique, and the full history is fed
+    to the :mod:`repro.ha.checker` — per-key linearizability, no acked
+    write lost, no split-brain acks, monotonic backup high-water marks.
+    Scenarios: ``kill-primary`` crashes one partition's primary for 30%
+    of the horizon; ``partition-primary`` cuts the primary machine's
+    link, forcing a mass failover and fencing the isolated primaries.
     """
-    if config is None:
-        config = HerdConfig(
-            n_server_processes=4,
-            window=4,
-            retry_timeout_ns=30_000.0,
-            adaptive_retry=True,
-            min_retry_timeout_ns=15_000.0,
+    ha_mode = scenario is not None
+    if ha_mode and scenario not in HA_SCENARIOS:
+        raise ValueError(
+            "unknown HA scenario %r (have: %s)" % (scenario, ", ".join(HA_SCENARIOS))
         )
+    if ha_mode and value_size < 8:
+        raise ValueError("HA chaos tags PUT values; value_size must be >= 8")
+    if config is None:
+        if ha_mode:
+            config = HerdConfig(
+                n_server_processes=n_server_processes or 4,
+                window=4,
+                retry_timeout_ns=10_000.0,
+                adaptive_retry=True,
+                min_retry_timeout_ns=5_000.0,
+                replication_factor=replication_factor,
+                ack_policy=ack_policy,
+                lease_us=lease_us,
+                heartbeat_us=heartbeat_us,
+            )
+        else:
+            config = HerdConfig(
+                n_server_processes=n_server_processes or 4,
+                window=4,
+                retry_timeout_ns=30_000.0,
+                adaptive_retry=True,
+                min_retry_timeout_ns=15_000.0,
+            )
     if config.retry_timeout_ns is None:
         raise ValueError("chaos needs retries enabled (retry_timeout_ns)")
+    if ha_mode and config.replication_factor < 2:
+        raise ValueError("HA scenarios need a config with replication_factor > 1")
     cluster = HerdCluster(config=config, n_client_machines=4, seed=seed)
     workload = Workload(
         get_fraction=get_fraction, value_size=value_size, n_keys=n_items
     )
     cluster.add_clients(n_clients, workload)
+    if ha_mode:
+        for client in cluster.clients:
+            client.stream = _TaggedStream(client.stream, client.client_id)
     cluster.wire()
     cluster.preload(range(n_items), value_size)
     if plan is None:
-        plan = FaultPlan.randomized(
-            seed,
-            horizon_ns,
-            n_server_processes=config.n_server_processes,
-            intensity=intensity,
-            crash=crash,
-            rnr_machine=cluster.client_devices[0].machine.name,
-        )
+        if ha_mode:
+            # reduced-intensity background noise plus the named scenario
+            plan = FaultPlan.randomized(
+                seed,
+                horizon_ns,
+                n_server_processes=config.n_server_processes,
+                intensity=intensity * 0.5,
+                crash=False,
+                rnr_machine=cluster.client_devices[0].machine.name,
+            )
+            scenario_rng = child_rng(seed, "chaos.scenario")
+            victim = scenario_rng.randrange(config.n_server_processes)
+            if scenario == "kill-primary":
+                plan.crash_server(
+                    victim, at_ns=0.35 * horizon_ns, down_ns=0.3 * horizon_ns
+                )
+            else:  # partition-primary
+                plan.flap_link(
+                    "server", at_ns=0.35 * horizon_ns, down_ns=0.25 * horizon_ns
+                )
+        else:
+            plan = FaultPlan.randomized(
+                seed,
+                horizon_ns,
+                n_server_processes=config.n_server_processes,
+                intensity=intensity,
+                crash=crash,
+                rnr_machine=cluster.client_devices[0].machine.name,
+            )
     plan = plan.clamped(horizon_ns)
     injector = cluster.install_faults(plan)
     sim = cluster.sim
@@ -156,7 +300,10 @@ def run_chaos(
                         "GET miss for preloaded item %d (client %d)"
                         % (op.item, client_id)
                     )
-                elif value != value_for(op.item, value_size):
+                elif not ha_mode and value != value_for(op.item, value_size):
+                    # HA runs tag PUT values; the linearizability
+                    # checker validates read values against the write
+                    # history instead of the static value function
                     violations.append(
                         "GET returned wrong bytes for item %d (client %d)"
                         % (op.item, client_id)
@@ -172,12 +319,55 @@ def run_chaos(
 
         return hook
 
+    # HA runs additionally record the full invoke/response history, per
+    # key, for the linearizability checker.  An op is identified by its
+    # (client, partition, window slot, slot epoch) — exactly the token
+    # the wire protocol uses to match responses.
+    histories: Dict[bytes, list] = {}
+    if ha_mode:
+        from repro.ha import HaOp
+
+        open_ops: Dict[tuple, "HaOp"] = {}
+
+        def make_ha_hook(client_id: int):
+            def hook(kind, op, server, slot, epoch, success, value, now):
+                token = (client_id, server, slot, epoch)
+                if kind == "invoke":
+                    ha_op = HaOp(
+                        client=client_id,
+                        kind="w" if op.op is OpType.PUT else "r",
+                        value=op.value if op.op is OpType.PUT else None,
+                        invoke=now,
+                    )
+                    open_ops[token] = ha_op
+                    histories.setdefault(op.key, []).append(ha_op)
+                elif kind == "response":
+                    ha_op = open_ops.pop(token, None)
+                    if ha_op is not None:
+                        ha_op.respond = now
+                        ha_op.ok = bool(success)
+                        if ha_op.kind == "r":
+                            ha_op.value = value
+                # "stale" nacks leave the op open: it was never executed
+
+            return hook
+
+        for client in cluster.clients:
+            client.ha_event_hook = make_ha_hook(client.client_id)
+
     for client in cluster.clients:
         client.payload_hook = make_hook(client.client_id)
         client.stop_after = horizon_ns
         client.start()
     for server in cluster.servers:
         server.start()
+    if cluster.ha is not None:
+        for servers in cluster.ha.replica_servers[1:]:
+            for server in servers:
+                server.start()
+        for node in cluster.ha.nodes:
+            node.start()
+        cluster.ha.monitor.start()
     sim.call_in(horizon_ns, injector.deactivate)
 
     sim.run(until=horizon_ns)
@@ -233,15 +423,69 @@ def run_chaos(
                         "%d free + quarantined of %d"
                         % (client.client_id, server, closed, config.window)
                     )
-    for item in range(n_items):
-        kh = keyhash(item)
-        server = cluster.servers[partition_of(kh, config.n_server_processes)]
-        stored = server.store.get(kh)
-        if stored != value_for(item, value_size):
+    ops_lost = 0
+    checker_verdict = ""
+    availability = 1.0
+    failover_latency_ns = 0.0
+    promotions = stale_nacks = replays = 0
+    if not ha_mode:
+        for item in range(n_items):
+            kh = keyhash(item)
+            server = cluster.servers[partition_of(kh, config.n_server_processes)]
+            stored = server.store.get(kh)
+            if stored != value_for(item, value_size):
+                violations.append(
+                    "store divergence for item %d on server %d"
+                    % (item, server.index)
+                )
+    else:
+        from repro.ha import check_histories, lost_acked_writes, split_brain
+
+        ha = cluster.ha
+        monitor = ha.monitor
+        ns = config.n_server_processes
+        # Final state is read from each partition's *current* primary —
+        # the replica a client would reach after the run.
+        initial: Dict[bytes, Optional[bytes]] = {}
+        final: Dict[bytes, Optional[bytes]] = {}
+        for item in range(n_items):
+            kh = keyhash(item)
+            p = partition_of(kh, ns)
+            primary = monitor.state[p].primary
+            store = ha.replica_servers[primary if primary is not None else 0][p].store
+            initial[kh] = value_for(item, value_size)
+            final[kh] = store.get(kh)
+        lin = check_histories(histories, initial, final)
+        violations.extend(lin)
+        ops_lost = lost_acked_writes(histories, final)
+        if ops_lost:
+            violations.append("%d acked writes lost across failover" % ops_lost)
+        witness = {
+            (group.partition, epoch): ackers
+            for group in ha.groups
+            for epoch, ackers in group.ack_witness.items()
+        }
+        brains = split_brain(witness)
+        violations.extend(brains)
+        regressions = sum(
+            role.hwm_regressions for node in ha.nodes for role in node.roles
+        )
+        if regressions:
             violations.append(
-                "store divergence for item %d on server %d"
-                % (item, server.index)
+                "%d backup high-water-mark regressions" % regressions
             )
+        checker_verdict = (
+            "violated"
+            if (lin or ops_lost or brains or regressions)
+            else "linearizable"
+        )
+        outage = monitor.outage_ns(up_to_ns=horizon_ns)
+        availability = max(0.0, 1.0 - outage / (ns * horizon_ns))
+        closed = [adopted - lost for (_p, lost, adopted) in monitor.outages]
+        failover_latency_ns = sum(closed) / len(closed) if closed else 0.0
+        promotions = monitor.promotions
+        stale_nacks = sum(c.stale_nacks for c in cluster.clients)
+        replays = sum(c.replays for c in cluster.clients)
     expected_crashes = sum(1 for c in plan.crashes if c.at_ns < horizon_ns)
     total_crashes = sum(s.crashes for s in cluster.servers)
     total_recoveries = sum(s.recoveries for s in cluster.servers)
@@ -273,8 +517,56 @@ def run_chaos(
                 )
             ).encode()
         )
+    if ha_mode:
+        # the HA fingerprint also pins failover *timing*: outage windows,
+        # promotion counts, and every client's failover traffic
+        monitor = cluster.ha.monitor
+        digest.update(
+            (
+                "scenario=%s rf=%d ack=%s\n"
+                % (scenario, config.replication_factor, config.ack_policy)
+            ).encode()
+        )
+        for p, lost, adopted in monitor.outages:
+            digest.update(("outage p%d %.3f %.3f\n" % (p, lost, adopted)).encode())
+        digest.update(
+            (
+                "promotions=%d grants=%d configs=%d lease_misses=%d\n"
+                % (
+                    monitor.promotions,
+                    monitor.grants,
+                    monitor.configs_sent,
+                    monitor.lease_misses,
+                )
+            ).encode()
+        )
+        for client in cluster.clients:
+            digest.update(
+                (
+                    "c%d stale=%d replays=%d failovers=%d\n"
+                    % (
+                        client.client_id,
+                        client.stale_nacks,
+                        client.replays,
+                        client.failovers,
+                    )
+                ).encode()
+            )
+        for node in cluster.ha.nodes:
+            digest.update(
+                (
+                    "rep%d shipped=%d acks=%d hb=%d catchups=%d\n"
+                    % (
+                        node.replica_id,
+                        node.updates_shipped,
+                        node.acks_sent,
+                        node.heartbeats_sent,
+                        node.catchups_served,
+                    )
+                ).encode()
+            )
 
-    return ChaosReport(
+    report = ChaosReport(
         seed=seed,
         plan=plan.describe(),
         sim_ns=sim.now,
@@ -291,4 +583,22 @@ def run_chaos(
         fault_counts=dict(injector.counts),
         violations=violations,
         fingerprint=digest.hexdigest(),
+        scenario=scenario,
+        replication_factor=config.replication_factor if ha_mode else 1,
+        ack_policy=config.ack_policy if ha_mode else "",
+        ops_acked=sum(c.completed for c in cluster.clients),
+        ops_lost=ops_lost,
+        checker=checker_verdict,
+        availability=availability,
+        failover_latency_ns=failover_latency_ns,
+        promotions=promotions,
+        stale_nacks=stale_nacks,
+        replays=replays,
     )
+    from repro.obs.report import RunReport  # deferred: optional layer
+
+    obs_report = RunReport.from_sim(sim, name="chaos-%d" % seed)
+    if obs_report is not None:
+        obs_report.outcomes.append(report.outcome_row())
+        report.obs = obs_report
+    return report

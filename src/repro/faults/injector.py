@@ -58,9 +58,19 @@ class FaultInjector:
             self.devices = {"server": target.server_device}
             for device in target.client_devices:
                 self.devices[device.machine.name] = device
+            ha = getattr(target, "ha", None)
+            if ha is not None:
+                for device in ha.devices[1:]:
+                    self.devices[device.machine.name] = device
+                self.devices["monitor"] = ha.monitor.device
             if devices:
                 self.devices.update(devices)
         self.sim = self.fabric.sim
+        #: per-server (and per-QP) earliest allowed recovery time: when
+        #: crash/error windows overlap, the union of the windows wins —
+        #: the first window's recovery must not revive a target a later
+        #: window still holds down
+        self._down_until: Dict[Any, float] = {}
         self.metrics = getattr(self.sim, "metrics", None)
         self._link_rng = child_rng(plan.seed, "faults.link")
         self._rnr_rng = child_rng(plan.seed, "faults.rnr")
@@ -205,16 +215,30 @@ class FaultInjector:
                 engine.name, "fault: engine stalled %.0f ns" % stall.duration_ns
             )
 
+    def _hold_down(self, key: Any, until_ns: float) -> None:
+        self._down_until[key] = max(self._down_until.get(key, 0.0), until_ns)
+
+    def _may_recover(self, key: Any) -> bool:
+        # tolerance for float scheduling noise: a recovery firing at its
+        # own window's end must not be rejected by rounding
+        return self.sim.now + 1e-6 >= self._down_until.get(key, 0.0)
+
     def _fire_qp_error(self, rule) -> None:
         if not self.active:
             return
         qp = self._device(rule.machine).qps.get(rule.qpn)
         if qp is None:
             raise ValueError("qp-error rule targets unknown QP %d" % rule.qpn)
+        if rule.recover_after_ns is not None:
+            self._hold_down(
+                (rule.machine, rule.qpn), self.sim.now + rule.recover_after_ns
+            )
         qp.transition_to_error()
         self.count("qp_error")
 
     def _fire_qp_recover(self, rule) -> None:
+        if not self._may_recover((rule.machine, rule.qpn)):
+            return  # a later overlapping error window still holds it
         qp = self._device(rule.machine).qps.get(rule.qpn)
         if qp is not None and qp.state.value == "ERROR":
             qp.recover()
@@ -223,11 +247,17 @@ class FaultInjector:
     def _fire_crash(self, rule) -> None:
         if not self.active:
             return
+        # Extend the hold even when the server is already down: the
+        # window union decides when recovery is legal, not whichever
+        # window happened to fire first.
+        self._hold_down(rule.server_index, self.sim.now + rule.down_ns)
         server = self.cluster.servers[rule.server_index]
         if server.crash():
             self.count("server_crash")
 
     def _fire_recover(self, rule) -> None:
+        if not self._may_recover(rule.server_index):
+            return  # a later overlapping crash window still holds it
         server = self.cluster.servers[rule.server_index]
         if server.recover():
             self.count("server_recovery")

@@ -1,0 +1,43 @@
+"""repro.ha — replicated HERD partitions that survive primary failures.
+
+Layers (see docs/HA.md for the full design):
+
+* :mod:`repro.ha.replication` — primary-backup update shipping over a
+  dedicated RC mesh, apply-at-commit semantics, two-phase promotion;
+* :mod:`repro.ha.detector` — lease-based failure detection and
+  election by a monitor exchanging UD heartbeats on the same faultable
+  fabric as data traffic;
+* :mod:`repro.ha.failover` — the client's per-partition replica map;
+* :mod:`repro.ha.checker` — per-key Wing–Gong linearizability checking
+  plus the global HA invariants (no acked write lost, no split-brain
+  acks, monotonic backup high-water marks).
+
+Everything activates only when ``HerdConfig.replication_factor > 1``;
+an unreplicated cluster builds no HA machinery at all, so the classic
+simulation stays event-for-event identical.
+"""
+
+from repro.ha.checker import (
+    HaOp,
+    check_histories,
+    check_key,
+    lost_acked_writes,
+    split_brain,
+)
+from repro.ha.detector import LeaseMonitor
+from repro.ha.failover import ReplicaMap
+from repro.ha.replication import HaNode, InflightUpdate, PartitionGroup, ReplicaRole
+
+__all__ = [
+    "HaOp",
+    "check_histories",
+    "check_key",
+    "lost_acked_writes",
+    "split_brain",
+    "LeaseMonitor",
+    "ReplicaMap",
+    "HaNode",
+    "InflightUpdate",
+    "PartitionGroup",
+    "ReplicaRole",
+]

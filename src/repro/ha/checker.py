@@ -1,0 +1,212 @@
+"""Per-key linearizability checking over chaos histories.
+
+The chaos harness records, per key, every client invocation and
+response (:class:`HaOp`).  Because HERD keys are independent (each PUT
+replaces the whole value, there are no multi-key transactions), a
+history is linearizable iff every *per-key* sub-history is — which
+keeps the NP-hard general problem tractable: per-key histories under a
+closed-loop window of a few clients stay small.
+
+:func:`check_key` runs a Wing–Gong style search: repeatedly pick a
+*minimal* operation (one that was invoked before every remaining
+completed operation's response — any legal linearization must start
+with one of these), apply it to the simulated register, and recurse.
+Memoisation on (remaining-set, register-state) keeps the search
+polynomial in practice.
+
+Operations that never got a response (client abandoned, primary died)
+are *pending*: a pending write may be linearized at any point after
+its invocation or omitted entirely (the update may or may not have
+reached a surviving replica); a pending read constrains nothing and is
+ignored.
+
+On top of per-key linearizability the module checks the global HA
+invariants the replication design promises:
+
+* :func:`lost_acked_writes` — an acked write that provably ran last on
+  its key must be the value a final read observes;
+* :func:`split_brain` — at most one replica acks client operations in
+  any (partition, epoch);
+* monotonic backup high-water marks are counted at the source (see
+  ``ReplicaRole.hwm_regressions``) and surfaced by the chaos report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: cap on the memo table per key — a pathological history degenerates
+#: to an error rather than unbounded memory
+_MEMO_LIMIT = 200_000
+
+
+@dataclass
+class HaOp:
+    """One client operation against one key, with sim-time bounds."""
+
+    client: int
+    kind: str  # "r" | "w"
+    #: for writes: the value written; for reads: the value returned
+    #: (None = miss), filled in at response time
+    value: Optional[bytes]
+    invoke: float
+    respond: Optional[float] = None
+    #: False only for a failed completed write (treated like pending)
+    ok: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w"):
+            raise ValueError("HaOp.kind must be 'r' or 'w'; got %r" % (self.kind,))
+
+
+def check_key(
+    ops: Iterable[HaOp], initial: Optional[bytes] = None
+) -> Optional[str]:
+    """None if the per-key history is linearizable, else a reason."""
+    ops = list(ops)
+    completed: List[HaOp] = []
+    pending_writes: List[HaOp] = []
+    for op in ops:
+        if op.respond is not None and op.respond < op.invoke:
+            return "op responds before it is invoked (invoke=%r respond=%r)" % (
+                op.invoke,
+                op.respond,
+            )
+        if op.respond is not None and (op.kind == "r" or op.ok):
+            completed.append(op)
+        elif op.kind == "w":
+            pending_writes.append(op)
+        # a pending read constrains nothing
+    if not completed:
+        return None
+
+    # Most histories are already in a legal order: a greedy fast path
+    # (linearize completed ops by response time, pending writes eagerly
+    # whenever the next read needs their value) is attempted first by
+    # the search's child ordering, so the exponential worst case is
+    # only reached by genuinely contended interleavings.
+    memo: Set[Tuple[frozenset, frozenset, Optional[bytes]]] = set()
+
+    def search(
+        remaining: frozenset, pend: frozenset, state: Optional[bytes]
+    ) -> bool:
+        if not remaining:
+            return True
+        key = (remaining, pend, state)
+        if key in memo:
+            return False
+        if len(memo) > _MEMO_LIMIT:
+            raise RuntimeError("linearizability search exceeded the memo limit")
+        memo.add(key)
+        horizon = min(completed[i].respond for i in remaining)
+        for i in sorted(remaining, key=lambda i: completed[i].respond):
+            op = completed[i]
+            if op.invoke > horizon:
+                continue
+            if op.kind == "r":
+                if op.value == state:
+                    if search(remaining - {i}, pend, state):
+                        return True
+            else:
+                if search(remaining - {i}, pend, op.value):
+                    return True
+        for j in sorted(pend):
+            op = pending_writes[j]
+            if op.invoke > horizon:
+                continue
+            if search(remaining, pend - {j}, op.value):
+                return True
+        return False
+
+    if search(
+        frozenset(range(len(completed))),
+        frozenset(range(len(pending_writes))),
+        initial,
+    ):
+        return None
+    reads = [o for o in completed if o.kind == "r"]
+    return (
+        "no linearization of %d completed ops (%d reads, %d pending writes) "
+        "explains the observed values" % (len(completed), len(reads), len(pending_writes))
+    )
+
+
+def final_read(ops: Iterable[HaOp], value: Optional[bytes]) -> HaOp:
+    """A synthetic read of the surviving primary's final state.
+
+    Appending it to the history forces the checker to also prove the
+    final store contents are explainable — this is what turns "an acked
+    write vanished during failover" into a checker failure even when no
+    real client happened to read the key again.
+    """
+    horizon = 0.0
+    for op in ops:
+        horizon = max(horizon, op.invoke, op.respond or 0.0)
+    return HaOp(
+        client=-1, kind="r", value=value, invoke=horizon + 1.0, respond=horizon + 2.0
+    )
+
+
+def check_histories(
+    histories: Dict[bytes, List[HaOp]],
+    initial: Dict[bytes, Optional[bytes]],
+    final: Dict[bytes, Optional[bytes]],
+    max_violations: int = 8,
+) -> List[str]:
+    """Check every per-key history; returns violation strings (empty = pass)."""
+    violations: List[str] = []
+    for keyhash in sorted(histories):
+        ops = list(histories[keyhash])
+        ops.append(final_read(ops, final.get(keyhash)))
+        reason = check_key(ops, initial.get(keyhash))
+        if reason is not None:
+            violations.append(
+                "key %s not linearizable: %s" % (keyhash.hex()[:16], reason)
+            )
+            if len(violations) >= max_violations:
+                violations.append("... further keys not checked")
+                break
+    return violations
+
+
+def lost_acked_writes(
+    histories: Dict[bytes, List[HaOp]], final: Dict[bytes, Optional[bytes]]
+) -> int:
+    """Acked writes that provably ran last on their key yet are not the
+    final value.
+
+    This is a *sound witness* (never a false positive): a write counts
+    only when every other write on the key completed strictly before it
+    was invoked, so no interleaving could order another write after it.
+    The full checker catches subtler losses; this counter exists so the
+    chaos report can say "N acked writes lost" in plain numbers.
+    """
+    lost = 0
+    for keyhash, ops in histories.items():
+        writes = [o for o in ops if o.kind == "w"]
+        acked = [o for o in writes if o.respond is not None and o.ok]
+        for w in acked:
+            others = [o for o in writes if o is not w]
+            if all(o.respond is not None and o.respond <= w.invoke for o in others):
+                if final.get(keyhash) != w.value:
+                    lost += 1
+                break  # at most one provably-last write per key
+    return lost
+
+
+def split_brain(ack_witness: Dict[Tuple[int, int], Set[int]]) -> List[str]:
+    """Violations for ``{(partition, epoch): {replicas that acked}}``.
+
+    The fencing design guarantees at most one replica acks client
+    operations within a (partition, epoch); two ackers means a stale
+    primary slipped an acknowledgement past its demotion.
+    """
+    out = []
+    for (partition, epoch), replicas in sorted(ack_witness.items()):
+        if len(replicas) > 1:
+            out.append(
+                "split brain: replicas %s all acked ops for partition %d "
+                "in epoch %d" % (sorted(replicas), partition, epoch)
+            )
+    return out

@@ -1,0 +1,258 @@
+"""Lease-based failure detection and primary election.
+
+A lightweight monitor process (its own simulated machine, its own NIC)
+receives heartbeats from every replica over UD SENDs — real messages on
+the simulated fabric, so injected drops, delays, and partitions degrade
+failure detection exactly as they degrade data traffic.  In return it
+issues *lease grants* to the partition's primary.
+
+The protocol, per partition:
+
+* every replica heartbeats ``(partition, replica, is_primary, epoch,
+  hwm, sent_ns)`` each ``heartbeat_us``;
+* the monitor answers the current primary's heartbeat with a GRANT
+  echoing ``sent_ns``; the primary extends its lease to ``sent_ns +
+  lease_us`` (clocks advance identically in the simulation, so the
+  echoed timestamp stands in for the bounded-drift clock assumption a
+  real lease service makes);
+* a replica silent for ``lease_us`` is declared dead and dropped from
+  the member set.  If it was the primary, the monitor elects the
+  member with the highest *last reported* high-water mark (ties break
+  to the lowest replica id), bumps the fencing epoch, and broadcasts
+  the new CONFIG;
+* a heartbeat from a non-member (a recovered crasher) re-admits it
+  under a bumped epoch; a heartbeat carrying a stale epoch is answered
+  with the current CONFIG, which demotes a resurrected primary
+  (fencing — the split-brain defence).
+
+Lease safety: the primary self-expires at ``last_grant.sent_ns +
+lease_us``; the monitor declares death no earlier than
+``last_recv + lease_us`` and ``last_recv >= sent_ns``, so the old
+primary has always stopped serving by the time a successor is allowed
+to ack writes.  (The monitor is deliberately a single point of
+failure — electing the elector needs consensus, which is out of scope;
+see docs/HA.md.)
+
+Election picks the highest *last-known* hwm among members not declared
+dead — not merely the freshest heartbeat — so a backup whose latest
+heartbeat was dropped is not passed over in favour of a staler replica.
+The elected candidate then syncs with surviving peers before serving
+(two-phase promotion, see ``replication.py``), which covers the case
+where even the monitor's view of the winner was behind.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim import Simulator
+from repro.verbs import CompletionQueue, RdmaDevice, RecvRequest, Transport, WorkRequest
+from repro.herd.config import HerdConfig
+from repro.herd import wire
+
+#: UD RECV slot for control messages: 40 B GRH + the largest control
+#: message (a CONFIG with 8 members is 16 bytes; heartbeats are 24)
+CTRL_SLOT = 40 + 32
+#: RECV ring depth — several heartbeat periods of rf*NS replicas
+CTRL_RING = 512
+
+
+class _PartitionState:
+    """The monitor's view of one partition's replica group."""
+
+    def __init__(self, group: Tuple[int, ...], now: float) -> None:
+        self.epoch = 0
+        self.primary: Optional[int] = 0
+        self.members = set(group)
+        self.last_heard: Dict[int, float] = {r: now for r in group}
+        self.last_hwm: Dict[int, int] = {r: 0 for r in group}
+        #: sim-time the partition lost its primary (None = serving)
+        self.outage_since: Optional[float] = None
+
+
+class LeaseMonitor:
+    """Heartbeat receiver, lease granter, and primary elector."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: RdmaDevice,
+        config: HerdConfig,
+        n_partitions: int,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.config = config
+        self.n_partitions = n_partitions
+        self.lease_ns = config.lease_us * 1000.0
+        self.heartbeat_ns = config.heartbeat_us * 1000.0
+        group = tuple(range(config.replication_factor))
+        self.state: List[_PartitionState] = [
+            _PartitionState(group, sim.now) for _ in range(n_partitions)
+        ]
+        self.recv_cq = CompletionQueue(sim, "ha.monitor.rcq")
+        self.ud_qp = device.create_qp(Transport.UD, recv_cq=self.recv_cq)
+        self.recv_mr = device.register_memory(CTRL_RING * CTRL_SLOT)
+        #: replica id -> (machine, ctrl qpn), wired by the cluster
+        self.replica_ahs: Dict[int, Tuple[str, int]] = {}
+        #: out-of-band config fan-out to clients: fn(partition, primary,
+        #: epoch).  Real clients would subscribe to the monitor over the
+        #: fabric; modelling that adds nothing the fabric path does not
+        #: already exercise, so adoption is immediate (see docs/HA.md).
+        self.config_listeners: List[Callable[[int, int, int], None]] = []
+
+        self.promotions = 0
+        self.lease_misses = 0
+        self.grants = 0
+        self.configs_sent = 0
+        #: (partition, lost_ns, adopted_ns) per primary outage
+        self.outages: List[Tuple[int, float, float]] = []
+
+        metrics = getattr(sim, "metrics", None)
+        self._failover_hist = None
+        if metrics is not None:
+            metrics.gauge_fn("ha.monitor.promotions", lambda: self.promotions)
+            metrics.gauge_fn("ha.monitor.lease_misses", lambda: self.lease_misses)
+            metrics.gauge_fn("ha.monitor.grants", lambda: self.grants)
+            self._failover_hist = metrics.histogram("ha.monitor.failover_ns")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        for i in range(CTRL_RING):
+            offset = i * CTRL_SLOT
+            self.device.post_recv(
+                self.ud_qp,
+                RecvRequest(wr_id=offset, local=(self.recv_mr, offset, CTRL_SLOT)),
+            )
+        self.sim.process(self._recv_loop())
+        self.sim.process(self._check_loop())
+
+    def outage_ns(self, up_to_ns: Optional[float] = None) -> float:
+        """Total primary-less simulated time, summed over partitions.
+
+        Open outages (still primary-less) are counted up to ``up_to_ns``
+        (default: now).
+        """
+        end_cap = self.sim.now if up_to_ns is None else up_to_ns
+        total = 0.0
+        for partition, lost, adopted in self.outages:
+            total += max(0.0, min(adopted, end_cap) - min(lost, end_cap))
+        for st in self.state:
+            if st.outage_since is not None:
+                total += max(0.0, end_cap - min(st.outage_since, end_cap))
+        return total
+
+    # -- receive path --------------------------------------------------
+
+    def _recv_loop(self):
+        sim = self.sim
+        poll_ns = self.device.profile.cq_poll_ns
+        while True:
+            cqe = yield self.recv_cq.pop()
+            yield sim.timeout(poll_ns)
+            offset = cqe.wr_id
+            data = bytes(self.recv_mr.read(offset + 40, cqe.byte_len))
+            self.device.post_recv(
+                self.ud_qp,
+                RecvRequest(wr_id=offset, local=(self.recv_mr, offset, CTRL_SLOT)),
+            )
+            if not data or wire.ha_kind(data) != wire.CTRL_HEARTBEAT:
+                continue
+            partition, sender, is_primary, epoch, hwm, sent_ns = wire.decode_heartbeat(
+                data
+            )
+            yield from self._on_heartbeat(
+                partition, sender, is_primary, epoch, hwm, sent_ns
+            )
+
+    def _on_heartbeat(self, partition, sender, is_primary, epoch, hwm, sent_ns):
+        st = self.state[partition]
+        st.last_heard[sender] = self.sim.now
+        st.last_hwm[sender] = max(st.last_hwm.get(sender, 0), hwm)
+        if sender not in st.members:
+            # a recovered replica rejoins under a fresh epoch; the
+            # CONFIG it receives fences it if it still believes itself
+            # primary of an older epoch
+            st.members.add(sender)
+            st.epoch += 1
+            yield from self._broadcast_config(partition)
+            return
+        if epoch < st.epoch:
+            # stale replica (e.g. resurrected primary): re-send the
+            # current config directly so it demotes itself
+            yield from self._send_config(partition, sender)
+            return
+        if sender == st.primary and epoch == st.epoch:
+            grant = wire.encode_grant(partition, sender, st.epoch, sent_ns)
+            yield from self._send(sender, grant)
+            self.grants += 1
+
+    # -- lease expiry and election -------------------------------------
+
+    def _check_loop(self):
+        sim = self.sim
+        while True:
+            yield sim.timeout(self.heartbeat_ns)
+            for partition in range(self.n_partitions):
+                yield from self._check_partition(partition)
+
+    def _check_partition(self, partition):
+        sim = self.sim
+        st = self.state[partition]
+        for replica in sorted(st.members):
+            heard = st.last_heard.get(replica, 0.0)
+            if sim.now - heard <= self.lease_ns:
+                continue
+            st.members.discard(replica)
+            if replica == st.primary:
+                self.lease_misses += 1
+                st.primary = None
+                # the outage clock starts at the last proof of life, not
+                # at declared death: the crash happened somewhere after
+                # ``heard``, so this brackets client-visible downtime
+                st.outage_since = heard
+        if st.primary is None and st.members:
+            yield from self._elect(partition)
+
+    def _elect(self, partition):
+        st = self.state[partition]
+        winner = max(sorted(st.members), key=lambda r: (st.last_hwm.get(r, 0), -r))
+        st.epoch += 1
+        st.primary = winner
+        self.promotions += 1
+        if st.outage_since is not None:
+            adopted = self.sim.now
+            self.outages.append((partition, st.outage_since, adopted))
+            if self._failover_hist is not None:
+                self._failover_hist.observe(adopted - st.outage_since)
+            st.outage_since = None
+        yield from self._broadcast_config(partition)
+
+    # -- config fan-out ------------------------------------------------
+
+    def _broadcast_config(self, partition):
+        # every wired replica hears the config (non-members included:
+        # a dead node's messages simply vanish, and a recovering node
+        # may catch the broadcast before its first heartbeat)
+        for replica in sorted(self.replica_ahs):
+            yield from self._send_config(partition, replica)
+        st = self.state[partition]
+        for listener in self.config_listeners:
+            listener(partition, st.primary, st.epoch)
+
+    def _send_config(self, partition, replica):
+        st = self.state[partition]
+        payload = wire.encode_config(
+            partition, st.primary if st.primary is not None else 0xFF,
+            st.epoch, st.members,
+        )
+        yield from self._send(replica, payload)
+        self.configs_sent += 1
+
+    def _send(self, replica, payload):
+        ah = self.replica_ahs.get(replica)
+        if ah is None:
+            return
+        wr = WorkRequest.send(payload=payload, inline=True, signaled=False, ah=ah)
+        yield from self.device.post_send_timed(self.ud_qp, wr)

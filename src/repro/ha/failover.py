@@ -1,0 +1,60 @@
+"""Client-side failover state: which replica currently owns a partition.
+
+:class:`ReplicaMap` is the client's view of the monitor's configuration
+(primary replica id + fencing epoch, per partition).  The monitor pushes
+updates through its config listeners; the map rejects stale epochs so a
+reordered notification can never roll a client back to a dead primary.
+
+The actual replay machinery lives in
+:class:`~repro.herd.client.HerdClientProcess` (it owns the pending
+records, window slots, and UC QPs); this module keeps the policy —
+"where should this partition's traffic go, and has that just changed?" —
+separate and unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class ReplicaMap:
+    """Per-partition primary replica, advanced by fencing epoch."""
+
+    def __init__(self, n_partitions: int, replication_factor: int) -> None:
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        self.replication_factor = replication_factor
+        #: replica id currently believed primary, per partition
+        self.primary: List[int] = [0] * n_partitions
+        #: the config epoch that installed each primary
+        self.epoch: List[int] = [0] * n_partitions
+
+    def update(self, partition: int, primary: int, epoch: int) -> bool:
+        """Adopt a new config; True iff it changed where traffic goes.
+
+        Stale or duplicate notifications (epoch <= what we hold) are
+        ignored, so listeners may deliver out of order.
+        """
+        if not 0 <= primary < self.replication_factor:
+            raise ValueError(
+                "primary replica %r out of range for rf=%d"
+                % (primary, self.replication_factor)
+            )
+        if epoch <= self.epoch[partition]:
+            return False
+        self.epoch[partition] = epoch
+        changed = self.primary[partition] != primary
+        self.primary[partition] = primary
+        return changed
+
+    def lane(self, partition: int, n_partitions: int) -> int:
+        """The client's UD lane index for this partition's current primary.
+
+        Clients keep one response lane (UD QP + RECV ring) per
+        (replica, partition) pair: ``lane = replica * NS + partition``.
+        With rf=1 this degenerates to ``lane == partition``, matching
+        the unreplicated layout exactly.
+        """
+        return self.primary[partition] * n_partitions + partition

@@ -28,6 +28,16 @@ into a full client-side policy for fault injection):
 * when one server process is saturated or crashed, new ops for it are
   *parked* (bounded) and the client keeps issuing to the healthy
   partitions — per-core graceful degradation.
+
+Replication (``HerdConfig.replication_factor > 1``, see docs/HA.md):
+the client keeps one response lane (UD QP + RECV ring) per
+(replica, partition) pair and writes each request into the *current
+primary's* request region, looked up in a per-partition
+:class:`~repro.ha.failover.ReplicaMap`.  A ``RESP_STALE_EPOCH`` nack or
+a monitor config notification re-aims in-flight ops at the new primary
+(same window slot, same slot epoch — the response path cannot tell a
+replayed op from a first send) and un-parks the partition immediately.
+With rf=1 every HA branch is dead and the classic layout is untouched.
 """
 
 from __future__ import annotations
@@ -50,7 +60,13 @@ from repro.verbs import (
 from repro.workloads.ycsb import Operation, OpType, WorkloadStream
 from repro.herd.config import HerdConfig, partition_of
 from repro.herd.region import RequestRegion
-from repro.herd.wire import decode_response, encode_get, encode_put
+from repro.herd.wire import (
+    RESP_OK,
+    RESP_STALE_EPOCH,
+    decode_response,
+    encode_get,
+    encode_put,
+)
 
 #: observer called as fn(op, latency_ns, success, now)
 ResponseHook = Callable[[Operation, float, bool, float], None]
@@ -81,6 +97,8 @@ class _Pending:
     deadline: float = 0.0
     #: the slot epoch this request carries (echoed by the server)
     epoch: int = 0
+    #: which replica of the partition the request was last aimed at
+    replica: int = 0
 
 
 class HerdClientProcess:
@@ -101,27 +119,49 @@ class HerdClientProcess:
         self.config = config
         self.stream = stream
         ns = config.n_server_processes
+        rf = config.replication_factor
+        self._ns = ns
+        self._ha = rf > 1
+        #: response slot: the HA status byte rides between the loss-mode
+        #: prefix and the body, so replicated slots are one byte wider
+        self._recv_slot = _RECV_SLOT + (1 if self._ha else 0)
+        #: per-lane RECV ring depth; deeper under replication because
+        #: stale nacks and replays consume extra buffers
+        self._ring = (4 if self._ha else 2) * config.window
         self.recv_cq = CompletionQueue(self.sim, "c%d.recv" % client_id)
-        #: s-th UD QP carries responses from server process s
+        #: lane r*NS+s carries responses from replica r of server
+        #: process s (rf=1 degenerates to lane == server)
         self.ud_qps: List[QueuePair] = [
-            device.create_qp(Transport.UD, recv_cq=self.recv_cq) for _ in range(ns)
+            device.create_qp(Transport.UD, recv_cq=self.recv_cq)
+            for _ in range(rf * ns)
         ]
-        self._server_of_qpn: Dict[int, int] = {
-            qp.qpn: s for s, qp in enumerate(self.ud_qps)
+        self._lane_of_qpn: Dict[int, int] = {
+            qp.qpn: lane for lane, qp in enumerate(self.ud_qps)
         }
         self.uc_qp: Optional[QueuePair] = None  # connected by the cluster
         #: set instead of a connection when requests ride DC transport
         self.dct_ah: Optional[Tuple[str, int]] = None
         self.region: Optional[RequestRegion] = None
-        #: where the s-th server process's responses land, W slots each
-        self.recv_mr = device.register_memory(2 * config.window * ns * _RECV_SLOT)
+        # HA wiring (left inert with rf=1): per-replica request regions
+        # and UC QPs, the partition->primary map, and failover counters.
+        self.ha_map = None  # ReplicaMap, set by the cluster when rf > 1
+        self.ha_regions: List[RequestRegion] = []
+        self.ha_uc_qps: List[QueuePair] = []
+        #: history observer for the linearizability checker, called as
+        #: fn(kind, op, server, window_slot, epoch, success, value, now)
+        #: with kind in {"invoke", "response", "stale"}
+        self.ha_event_hook = None
+        #: where each lane's responses land, ``_ring`` slots per lane
+        self.recv_mr = device.register_memory(
+            self._ring * len(self.ud_qps) * self._recv_slot
+        )
         self._staging = device.register_memory(2 * config.window * config.slot_bytes)
         self._recv_token = 0
         self._retry_token = 0
-        #: per-server issue sequence; responses from one server are FIFO
-        #: and at most W are outstanding, so sequence mod 2W can never
-        #: alias a live receive buffer
-        self._sent_to_server = [0] * ns
+        #: per-lane issue sequence; at most W requests per partition are
+        #: outstanding, so sequence mod ``_ring`` can never alias a live
+        #: receive buffer
+        self._sent_to_server = [0] * (rf * ns)
         #: request-region slots not currently holding a pending request
         #: (a slot may only be rewritten after its response arrived)
         self._slot_free = [set(range(config.window)) for _ in range(ns)]
@@ -135,8 +175,8 @@ class HerdClientProcess:
         #: issued as soon as a slot frees (graceful degradation)
         self._parked: List[Deque[Operation]] = [deque() for _ in range(ns)]
         self._park_limit = 2 * config.window
-        #: per-server RECV buffer offsets in posting order (loss mode)
-        self._recv_order: List[Deque[int]] = [deque() for _ in range(ns)]
+        #: per-lane RECV buffer offsets in posting order (loss mode)
+        self._recv_order: List[Deque[int]] = [deque() for _ in range(rf * ns)]
         self._pending: List[Deque[_Pending]] = [deque() for _ in range(ns)]
         self.outstanding = 0
         self.response_hook: Optional[ResponseHook] = None
@@ -166,6 +206,9 @@ class HerdClientProcess:
         self.duplicate_responses = 0
         self.abandoned = 0
         self.late_responses = 0
+        self.stale_nacks = 0
+        self.replays = 0
+        self.failovers = 0
         if metrics is not None:
             prefix = "herd.client%d." % client_id
             metrics.gauge_fn(prefix + "retries", lambda: self.retries)
@@ -174,6 +217,10 @@ class HerdClientProcess:
             )
             metrics.gauge_fn(prefix + "abandoned", lambda: self.abandoned)
             metrics.gauge_fn(prefix + "late_responses", lambda: self.late_responses)
+            if self._ha:
+                metrics.gauge_fn(prefix + "stale_nacks", lambda: self.stale_nacks)
+                metrics.gauge_fn(prefix + "replays", lambda: self.replays)
+                metrics.gauge_fn(prefix + "failovers", lambda: self.failovers)
 
     # ------------------------------------------------------------------
 
@@ -226,18 +273,23 @@ class HerdClientProcess:
         window_slot = min(free)
         free.discard(window_slot)
 
-        # 1. Pre-post the RECV for the response (Section 4.3).
+        # 1. Pre-post the RECV for the response (Section 4.3) on the
+        #    lane of the partition's current primary replica.
+        replica = self.ha_map.primary[server] if self._ha else 0
+        lane = replica * self._ns + server
         token = self._recv_token
         self._recv_token += 1
-        seq = self._sent_to_server[server]
-        self._sent_to_server[server] = seq + 1
-        recv_offset = (seq % (2 * self.config.window)) * _RECV_SLOT * len(self.ud_qps)
-        recv_offset += server * _RECV_SLOT
+        seq = self._sent_to_server[lane]
+        self._sent_to_server[lane] = seq + 1
+        recv_offset = (seq % self._ring) * self._recv_slot * len(self.ud_qps)
+        recv_offset += lane * self._recv_slot
         yield from self.device.post_recv_timed(
-            self.ud_qps[server],
-            RecvRequest(wr_id=token, local=(self.recv_mr, recv_offset, _RECV_SLOT)),
+            self.ud_qps[lane],
+            RecvRequest(
+                wr_id=token, local=(self.recv_mr, recv_offset, self._recv_slot)
+            ),
         )
-        self._recv_order[server].append(recv_offset)
+        self._recv_order[lane].append(recv_offset)
 
         # 2. WRITE the request into the server's request region.
         if self.config.retry_timeout_ns is not None:
@@ -252,11 +304,13 @@ class HerdClientProcess:
             if op.op is OpType.GET
             else encode_put(op.key, op.value, epoch=wire_epoch)
         )
-        slot_addr = self.region.slot_addr(server, self.client_id, window_slot)
+        region = self.ha_regions[replica] if self._ha else self.region
+        uc_qp = self.ha_uc_qps[replica] if self._ha else self.uc_qp
+        slot_addr = region.slot_addr(server, self.client_id, window_slot)
         raddr = slot_addr + self.config.slot_bytes - len(payload)
         if len(payload) <= self.profile.max_inline:
             wr = WorkRequest.write(
-                raddr=raddr, rkey=self.region.mr.rkey, payload=payload,
+                raddr=raddr, rkey=region.mr.rkey, payload=payload,
                 inline=True, signaled=False, ah=self.dct_ah,
             )
         else:
@@ -264,11 +318,11 @@ class HerdClientProcess:
             self._staging.write(offset, payload)
             yield self.sim.timeout(len(payload) / 16.0)  # staging memcpy
             wr = WorkRequest.write(
-                raddr=raddr, rkey=self.region.mr.rkey,
+                raddr=raddr, rkey=region.mr.rkey,
                 local=(self._staging, offset, len(payload)), signaled=False,
                 ah=self.dct_ah,
             )
-        yield from self.device.post_send_timed(self.uc_qp, wr)
+        yield from self.device.post_send_timed(uc_qp, wr)
         now = self.sim.now
         self._pending[server].append(
             _Pending(
@@ -282,10 +336,15 @@ class HerdClientProcess:
                 last_sent=now,
                 deadline=now + (self._rto() or 0.0),
                 epoch=epoch,
+                replica=replica,
             )
         )
         self.outstanding += 1
         self.issued += 1
+        if self.ha_event_hook is not None:
+            self.ha_event_hook(
+                "invoke", op, server, window_slot, epoch, None, None, now
+            )
 
     @staticmethod
     def _take_by_slot(
@@ -353,6 +412,14 @@ class HerdClientProcess:
                     cfg.retry_budget is not None
                     and record.attempts >= cfg.retry_budget
                 ):
+                    if (
+                        self._ha
+                        and record.replica != self.ha_map.primary[record.server]
+                    ):
+                        # The budget drained against a dead or demoted
+                        # replica: redirect instead of giving up.
+                        yield from self._replay(record)
+                        continue
                     self._abandon(record)
                     continue
                 record.attempts += 1
@@ -361,24 +428,103 @@ class HerdClientProcess:
                 jitter = 1.0 + cfg.retry_jitter * self._rng.random()
                 record.deadline = self.sim.now + self._rto() * backoff * jitter
                 record.last_sent = self.sim.now
-                if len(record.payload) <= self.profile.max_inline:
-                    wr = WorkRequest.write(
-                        raddr=record.raddr, rkey=self.region.mr.rkey,
-                        payload=record.payload, inline=True, signaled=False,
-                        ah=self.dct_ah,
-                    )
-                else:
-                    offset = (
-                        self._retry_token % (2 * cfg.window)
-                    ) * cfg.slot_bytes
-                    self._retry_token += 1
-                    self._staging.write(offset, record.payload)
-                    wr = WorkRequest.write(
-                        raddr=record.raddr, rkey=self.region.mr.rkey,
-                        local=(self._staging, offset, len(record.payload)),
-                        signaled=False, ah=self.dct_ah,
-                    )
-                yield from self.device.post_send_timed(self.uc_qp, wr)
+                yield from self._post_request(record)
+
+    def _post_request(self, record: _Pending) -> Generator[Event, None, None]:
+        """(Re-)WRITE a pending record's request bytes to its replica."""
+        cfg = self.config
+        region = self.ha_regions[record.replica] if self._ha else self.region
+        uc_qp = self.ha_uc_qps[record.replica] if self._ha else self.uc_qp
+        if len(record.payload) <= self.profile.max_inline:
+            wr = WorkRequest.write(
+                raddr=record.raddr, rkey=region.mr.rkey,
+                payload=record.payload, inline=True, signaled=False,
+                ah=self.dct_ah,
+            )
+        else:
+            offset = (self._retry_token % (2 * cfg.window)) * cfg.slot_bytes
+            self._retry_token += 1
+            self._staging.write(offset, record.payload)
+            wr = WorkRequest.write(
+                raddr=record.raddr, rkey=region.mr.rkey,
+                local=(self._staging, offset, len(record.payload)),
+                signaled=False, ah=self.dct_ah,
+            )
+        yield from self.device.post_send_timed(uc_qp, wr)
+
+    # -- failover (replication only) -----------------------------------
+
+    def ha_on_config(
+        self, partition: int, primary: Optional[int], epoch: int
+    ) -> None:
+        """Monitor notification: adopt the config, re-aim, un-park."""
+        if not self._ha or primary is None:
+            return
+        if not self.ha_map.update(partition, primary, epoch):
+            return  # stale/duplicate, or an epoch bump with no move
+        self.failovers += 1
+        self.sim.process(
+            self._failover(partition),
+            name="herd-client-%d-failover" % self.client_id,
+        )
+
+    def _failover(self, server: int) -> Generator[Event, None, None]:
+        """Replay in-flight ops at the new primary, then un-park.
+
+        Lease-aware parking: a promotion re-opens the partition
+        immediately — the backlog is issued against the new primary
+        without waiting for a successful probe.
+        """
+        replica = self.ha_map.primary[server]
+        for record in list(self._pending[server]):
+            if record.replica != replica:
+                yield from self._replay(record)
+        while self._parked[server] and self._slot_free[server]:
+            yield from self._send_op(self._parked[server].popleft(), server)
+
+    def _replay(self, record: _Pending) -> Generator[Event, None, None]:
+        """Re-aim a pending request at its partition's current primary.
+
+        A fresh RECV goes on the new replica's lane and the request
+        bytes are re-WRITTEN into the new primary's request region —
+        same window slot, same slot epoch, so the response path cannot
+        tell a replayed op from a first send.  The retry clock restarts
+        (redirecting is not evidence of loss on the new path).
+        """
+        server = record.server
+        if record not in self._pending[server]:
+            return  # completed (or abandoned) in the meantime
+        replica = self.ha_map.primary[server]
+        if record.replica == replica:
+            return  # already re-aimed by a racing stale nack
+        record.replica = replica
+        self.replays += 1
+        lane = replica * self._ns + server
+        token = self._recv_token
+        self._recv_token += 1
+        seq = self._sent_to_server[lane]
+        self._sent_to_server[lane] = seq + 1
+        recv_offset = (seq % self._ring) * self._recv_slot * len(self.ud_qps)
+        recv_offset += lane * self._recv_slot
+        yield from self.device.post_recv_timed(
+            self.ud_qps[lane],
+            RecvRequest(
+                wr_id=token, local=(self.recv_mr, recv_offset, self._recv_slot)
+            ),
+        )
+        self._recv_order[lane].append(recv_offset)
+        record.recv_offset = recv_offset
+        region = self.ha_regions[replica]
+        record.raddr = (
+            region.slot_addr(server, self.client_id, record.window_slot)
+            + self.config.slot_bytes
+            - len(record.payload)
+        )
+        now = self.sim.now
+        record.last_sent = now
+        record.attempts = 0
+        record.deadline = now + (self._rto() or 0.0)
+        yield from self._post_request(record)
 
     def _abandon(self, record: _Pending) -> None:
         """Give up on an op whose retry budget is spent.
@@ -399,7 +545,8 @@ class HerdClientProcess:
     # -- completion ----------------------------------------------------
 
     def _absorb(self, cqe) -> None:
-        server = self._server_of_qpn[cqe.qpn]
+        lane = self._lane_of_qpn[cqe.qpn]
+        server = lane % self._ns
         pending = self._pending[server]
         if self.config.retry_timeout_ns is None:
             # Lossless operation: per-server responses are FIFO, so the
@@ -411,9 +558,14 @@ class HerdClientProcess:
             # out of order, so responses carry a window-slot byte.  The
             # data landed in the *oldest posted* RECV buffer (RECVs are
             # consumed FIFO regardless of which request is answered).
-            offset = self._recv_order[server].popleft()
+            offset = self._recv_order[lane].popleft()
             raw = self.recv_mr.read(offset + 40, cqe.byte_len)
-            slot, epoch, payload = raw[0], raw[1], raw[2:]
+            if self._ha:
+                slot, epoch, status = raw[0], raw[1], raw[2]
+                payload = raw[3:]
+            else:
+                slot, epoch, status = raw[0], raw[1], RESP_OK
+                payload = raw[2:]
             record = self._take_by_slot(pending, slot, epoch)
             if record is None:
                 if self._quarantined[server].get(slot) == epoch:
@@ -430,10 +582,15 @@ class HerdClientProcess:
                 # the still-pending request it belonged to can complete.
                 self.duplicate_responses += 1
                 self.device.post_recv(
-                    self.ud_qps[server],
-                    RecvRequest(wr_id=0, local=(self.recv_mr, offset, _RECV_SLOT)),
+                    self.ud_qps[lane],
+                    RecvRequest(
+                        wr_id=0, local=(self.recv_mr, offset, self._recv_slot)
+                    ),
                 )
-                self._recv_order[server].append(offset)
+                self._recv_order[lane].append(offset)
+                return
+            if status == RESP_STALE_EPOCH:
+                self._on_stale_nack(record, lane, offset)
                 return
         self.outstanding -= 1
         self.completed += 1
@@ -453,3 +610,42 @@ class HerdClientProcess:
             self.response_hook(record.op, latency, success, self.sim.now)
         if self.payload_hook is not None:
             self.payload_hook(record.op, success, value, self.sim.now)
+        if self.ha_event_hook is not None:
+            self.ha_event_hook(
+                "response", record.op, server, record.window_slot,
+                record.epoch, success, value, self.sim.now,
+            )
+
+    def _on_stale_nack(self, record: _Pending, lane: int, offset: int) -> None:
+        """A replica refused the request: it no longer owns the partition.
+
+        The op stays pending (it was never executed) and is re-aimed at
+        the primary the replica map currently names.  If the map still
+        points at the nacker — the monitor's CONFIG hasn't reached us —
+        the consumed RECV is re-armed so a retry or the eventual replay
+        still has a buffer, and the config notification triggers the
+        actual move.
+        """
+        self.stale_nacks += 1
+        now = self.sim.now
+        record.deadline = now + (self._rto() or 0.0)
+        self._pending[record.server].append(record)
+        if self.ha_event_hook is not None:
+            self.ha_event_hook(
+                "stale", record.op, record.server, record.window_slot,
+                record.epoch, None, None, now,
+            )
+        if record.replica != self.ha_map.primary[record.server]:
+            self.sim.process(
+                self._replay(record),
+                name="herd-client-%d-replay" % self.client_id,
+            )
+        else:
+            self.device.post_recv(
+                self.ud_qps[lane],
+                RecvRequest(
+                    wr_id=0, local=(self.recv_mr, offset, self._recv_slot)
+                ),
+            )
+            self._recv_order[lane].append(offset)
+            record.recv_offset = offset

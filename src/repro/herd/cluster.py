@@ -23,6 +23,28 @@ from repro.herd.region import RequestRegion
 from repro.herd.server import HerdServerProcess
 
 
+class HaRuntime:
+    """Everything the cluster builds only when ``replication_factor > 1``.
+
+    Held as ``cluster.ha`` (None in an unreplicated cluster, so the
+    classic simulation constructs no HA machinery at all — not even the
+    extra machines — and stays event-for-event identical).
+    """
+
+    def __init__(self) -> None:
+        #: replica id -> RdmaDevice (index 0 is the classic server)
+        self.devices = []
+        #: replica id -> RequestRegion on that replica's machine
+        self.regions = []
+        #: replica id -> [HerdServerProcess per partition]
+        self.replica_servers = []
+        #: partition -> PartitionGroup (cross-replica checker evidence)
+        self.groups = []
+        #: replica id -> HaNode (replication dataplane)
+        self.nodes = []
+        self.monitor = None  # LeaseMonitor
+
+
 class HerdCluster:
     """A complete HERD system on one simulated fabric."""
 
@@ -55,6 +77,32 @@ class HerdCluster:
         self.region: Optional[RequestRegion] = None
         self.injector = None  # set by install_faults()
         self._wired = False
+        # Replica machines (rep1..rep{rf-1}) and the lease monitor get
+        # their own NICs on the same fabric; their cache RNGs are named
+        # child streams of the cluster seed so enabling replication
+        # cannot perturb the classic machines' draws.
+        self.ha: Optional[HaRuntime] = None
+        rf = self.config.replication_factor
+        if rf > 1:
+            self._ha_devices = [
+                RdmaDevice(
+                    Machine(
+                        self.sim,
+                        self.fabric,
+                        "rep%d" % r,
+                        cache_seed=derive_seed(seed, "ha.rep%d" % r),
+                    )
+                )
+                for r in range(1, rf)
+            ]
+            self._monitor_device = RdmaDevice(
+                Machine(
+                    self.sim,
+                    self.fabric,
+                    "monitor",
+                    cache_seed=derive_seed(seed, "ha.monitor"),
+                )
+            )
 
     # ------------------------------------------------------------------
 
@@ -112,7 +160,98 @@ class HerdCluster:
             self.servers.append(
                 HerdServerProcess(s, self.server_device, self.region, self.config, ahs)
             )
+        if self.config.replication_factor > 1:
+            self._wire_ha()
         self._wired = True
+
+    def _wire_ha(self) -> None:
+        """Backup replicas, the replication mesh, and the lease monitor.
+
+        Replica r of partition s is a *full* HerdServerProcess on
+        machine ``rep<r>`` with its own request region and MICA store;
+        clients answer it on UD lane ``r*NS + s`` and reach its region
+        over a dedicated UC QP per (client, replica) pair.  See
+        docs/HA.md for the dataplane layout.
+        """
+        from repro.ha import (
+            HaNode,
+            LeaseMonitor,
+            PartitionGroup,
+            ReplicaMap,
+            ReplicaRole,
+        )
+
+        cfg = self.config
+        ns = cfg.n_server_processes
+        rf = cfg.replication_factor
+        nc = len(self.clients)
+        ha = HaRuntime()
+        ha.devices = [self.server_device] + self._ha_devices
+        ha.regions = [self.region]
+        ha.replica_servers = [self.servers]
+        for r in range(1, rf):
+            device = ha.devices[r]
+            region = RequestRegion(self.sim, device, cfg, nc)
+            ha.regions.append(region)
+            servers_r = []
+            for s in range(ns):
+                ahs = [
+                    (client.device.machine.name, client.ud_qps[r * ns + s].qpn)
+                    for client in self.clients
+                ]
+                servers_r.append(HerdServerProcess(s, device, region, cfg, ahs))
+            ha.replica_servers.append(servers_r)
+        # Per-client UC connections into each backup's request region
+        # (replica 0 reuses the classic connection).
+        for client in self.clients:
+            client.ha_map = ReplicaMap(ns, rf)
+            client.ha_regions = ha.regions
+            client.ha_uc_qps = [client.uc_qp]
+            for r in range(1, rf):
+                server_qp = ha.devices[r].create_qp(Transport.UC)
+                client_qp = client.device.create_qp(Transport.UC)
+                server_qp.connect(client.device.machine.name, client_qp.qpn)
+                client_qp.connect(ha.devices[r].machine.name, server_qp.qpn)
+                client.ha_uc_qps.append(client_qp)
+        # Roles: one per (partition, replica), grouped per partition.
+        roles_by_replica: List[List[ReplicaRole]] = [[] for _ in range(rf)]
+        for s in range(ns):
+            group = PartitionGroup(s, cfg)
+            ha.groups.append(group)
+            for r in range(rf):
+                role = ReplicaRole(s, r, cfg, group)
+                server = ha.replica_servers[r][s]
+                role.server = server
+                server.ha_role = role
+                roles_by_replica[r].append(role)
+        ha.nodes = [
+            HaNode(r, ha.devices[r], cfg, roles_by_replica[r]) for r in range(rf)
+        ]
+        # The RC replication mesh: one connected QP pair per machine pair.
+        for a in range(rf):
+            for b in range(a + 1, rf):
+                qp_a = ha.devices[a].create_qp(
+                    Transport.RC, recv_cq=ha.nodes[a].mesh_cq
+                )
+                qp_b = ha.devices[b].create_qp(
+                    Transport.RC, recv_cq=ha.nodes[b].mesh_cq
+                )
+                qp_a.connect(ha.devices[b].machine.name, qp_b.qpn)
+                qp_b.connect(ha.devices[a].machine.name, qp_a.qpn)
+                ha.nodes[a].add_peer(b, qp_a)
+                ha.nodes[b].add_peer(a, qp_b)
+        # The lease monitor, with control paths to every replica and
+        # out-of-band config fan-out to every client.
+        ha.monitor = LeaseMonitor(self.sim, self._monitor_device, cfg, ns)
+        for r in range(rf):
+            ha.monitor.replica_ahs[r] = (
+                ha.devices[r].machine.name,
+                ha.nodes[r].ctrl_qp.qpn,
+            )
+            ha.nodes[r].monitor_ah = ("monitor", ha.monitor.ud_qp.qpn)
+        for client in self.clients:
+            ha.monitor.config_listeners.append(client.ha_on_config)
+        self.ha = ha
 
     def install_faults(self, plan) -> "object":
         """Install a :class:`repro.faults.FaultPlan` onto this cluster.
@@ -138,10 +277,14 @@ class HerdCluster:
         if not self._wired:
             self.wire()
         ns = self.config.n_server_processes
+        replica_servers = (
+            self.ha.replica_servers if self.ha is not None else [self.servers]
+        )
         for item in items:
             kh = keyhash(item)
-            server = self.servers[partition_of(kh, ns)]
-            server.store.put(kh, value_for(item, value_size))
+            value = value_for(item, value_size)
+            for servers in replica_servers:
+                servers[partition_of(kh, ns)].store.put(kh, value)
 
     # ------------------------------------------------------------------
 
@@ -171,6 +314,13 @@ class HerdCluster:
 
             server.completion_hook = shook
             server.start()
+        if self.ha is not None:
+            for servers in self.ha.replica_servers[1:]:
+                for server in servers:
+                    server.start()
+            for node in self.ha.nodes:
+                node.start()
+            self.ha.monitor.start()
 
         self.sim.run(until=window_end)
         machine = self.server_device.machine

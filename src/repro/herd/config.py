@@ -61,6 +61,19 @@ class HerdConfig:
     adaptive_retry: bool = False
     #: floor for the adaptive retry timeout
     min_retry_timeout_ns: float = 5_000.0
+    #: replicas per partition (1 = classic unreplicated HERD; k > 1
+    #: adds k-1 backups on dedicated replica machines, see docs/HA.md)
+    replication_factor: int = 1
+    #: how many backups must apply a PUT before the primary acks the
+    #: client: "all" live backups, or a "majority" of the replica group
+    ack_policy: str = "all"
+    #: lease duration in simulated microseconds; a primary that the
+    #: monitor has not heard from for this long is declared dead
+    lease_us: float = 10.0
+    #: heartbeat period in simulated microseconds (must leave room for
+    #: several heartbeats per lease, or one dropped UD SEND would
+    #: trigger a spurious failover)
+    heartbeat_us: float = 2.0
 
     def __post_init__(self) -> None:
         if self.n_server_processes < 1:
@@ -111,6 +124,40 @@ class HerdConfig:
             raise ValueError(
                 "min_retry_timeout_ns must be > 0; got %r"
                 % (self.min_retry_timeout_ns,)
+            )
+        if not 1 <= self.replication_factor <= 8:
+            raise ValueError(
+                "replication_factor must be within [1, 8]; got %r"
+                % (self.replication_factor,)
+            )
+        if self.ack_policy not in ("all", "majority"):
+            raise ValueError(
+                "ack_policy must be 'all' or 'majority'; got %r"
+                % (self.ack_policy,)
+            )
+        if self.replication_factor > 1:
+            if self.retry_timeout_ns is None:
+                raise ValueError(
+                    "replication needs application-level retries "
+                    "(retry_timeout_ns): failover replays in-flight "
+                    "requests through the retry path"
+                )
+            if self.request_transport != "UC":
+                raise ValueError(
+                    "replication currently supports the UC request "
+                    "transport only; got %r" % (self.request_transport,)
+                )
+        if not self.lease_us > 0:
+            raise ValueError("lease_us must be > 0; got %r" % (self.lease_us,))
+        if not self.heartbeat_us > 0:
+            raise ValueError(
+                "heartbeat_us must be > 0; got %r" % (self.heartbeat_us,)
+            )
+        if self.lease_us <= 2 * self.heartbeat_us:
+            raise ValueError(
+                "lease_us must exceed two heartbeat periods, or a single "
+                "dropped heartbeat triggers a spurious failover; got "
+                "lease_us=%r heartbeat_us=%r" % (self.lease_us, self.heartbeat_us)
             )
 
     def region_bytes(self, n_clients: int) -> int:

@@ -27,7 +27,7 @@ from repro.workloads.ycsb import Operation, OpType
 from repro.herd.config import HerdConfig
 from repro.herd.pipeline import RequestPipeline
 from repro.herd.region import RequestRegion
-from repro.herd.wire import encode_response
+from repro.herd.wire import RESP_OK, RESP_STALE_EPOCH, encode_response
 
 #: a request travelling through the pipeline:
 #: (client, window slot, op, request epoch)
@@ -71,6 +71,9 @@ class HerdServerProcess:
         #: overwrite these (it would corrupt an in-flight response)
         self._staging_inflight: List[Tuple[int, int]] = []
         self.completion_hook: Optional[CompletionHook] = None
+        #: replication role (repro.ha.ReplicaRole) when this process
+        #: serves a replicated partition; None = classic HERD
+        self.ha_role = None
         #: liveness: False between :meth:`crash` and :meth:`recover`.
         #: The request region and the MICA partition live in shared
         #: memory (HERD maps both with ``shmget``), so only the
@@ -131,6 +134,8 @@ class HerdServerProcess:
         if self._waiting_get is not None:
             self.region.arrivals[self.index].cancel(self._waiting_get)
             self._waiting_get = None
+        if self.ha_role is not None:
+            self.ha_role.on_crash()
         tracer = getattr(self.sim, "tracer", None)
         if tracer is not None:
             tracer.mark("herd-server-%d" % self.index, "crash")
@@ -162,6 +167,8 @@ class HerdServerProcess:
             arrivals.put(item)
         # Charge one full polling pass for the scan itself.
         scan_ns = self.region.n_clients * self.config.window * self.profile.poll_check_ns
+        if self.ha_role is not None:
+            self.ha_role.on_recover()
         self.sim.process(
             self.run(self.epoch, warmup_ns=scan_ns),
             name="herd-server-%d.e%d" % (self.index, self.epoch),
@@ -251,6 +258,9 @@ class HerdServerProcess:
     ) -> Generator[Event, None, None]:
         if entry is None:
             return
+        if self.ha_role is not None:
+            yield from self._complete_ha(entry, epoch)
+            return
         sim = self.sim
         p = self.profile
         client, window_slot, op, req_epoch = entry
@@ -279,14 +289,150 @@ class HerdServerProcess:
             # request's epoch byte — a delayed duplicate must not match
             # a newer op that reused the slot.
             payload = bytes([window_slot, req_epoch]) + payload
-        yield from self._respond(client, payload)
+        yield from self._respond(client, payload, epoch)
+        if self.epoch != epoch:
+            # Crashed while the response was being staged or posted: the
+            # SEND never went out, so the slot must survive for the
+            # post-recovery re-scan — a corpse must not finish the op.
+            return
         self.region.clear_slot(self.index, client, window_slot)
         self.responses += 1
         if self.completion_hook is not None:
             self.completion_hook(client, op, sim.now)
 
-    def _respond(self, client: int, payload: bytes) -> Generator[Event, None, None]:
-        """SEND the response over UD, inlined below the cutoff."""
+    # -- replicated-partition serve path (repro.ha) --------------------
+
+    def _complete_ha(
+        self, entry: PipelineEntry, epoch: int
+    ) -> Generator[Event, None, None]:
+        """Serve one request under a replication role.
+
+        GETs read committed state (parking behind an uncommitted PUT on
+        the same key); PUTs are sequenced and shipped to the backups,
+        acked later at commit.  A replica that is not the serving
+        primary nacks with STALE_EPOCH so the client fails over; a
+        primary without a current lease (or still syncing after
+        promotion) holds the request until its verdict resolves.
+        """
+        sim = self.sim
+        p = self.profile
+        role = self.ha_role
+        client, window_slot, op, req_epoch = entry
+        verdict = role.serving_verdict(sim.now)
+        while verdict == "hold":
+            yield sim.timeout(role.hold_retry_ns)
+            if self.epoch != epoch:
+                return
+            verdict = role.serving_verdict(sim.now)
+        if verdict == "stale":
+            yield from self.ha_respond(
+                client, window_slot, op, req_epoch, RESP_STALE_EPOCH, epoch
+            )
+            return
+        if op.op is OpType.GET:
+            if op.key in role.uncommitted:
+                # an uncommitted PUT to this key is in flight: serving
+                # the old value now and the ack later could expose a
+                # non-linearizable read; park until the commit
+                role.defer_get(client, window_slot, req_epoch, op)
+                return
+            self.gets += 1
+            value = self.store.get(op.key)
+            if value is not None:
+                self.get_hits += 1
+            per_access = p.prefetch_hit_ns if self.config.prefetch else p.dram_ns
+            yield sim.timeout(self.store.last_op_accesses * per_access)
+            if self.epoch != epoch:
+                return
+            yield from self.ha_respond(
+                client, window_slot, op, req_epoch, RESP_OK, epoch, value=value
+            )
+            return
+        if (client, window_slot, req_epoch) in role.pending_client:
+            return  # a retry of a PUT already replicating; ack at commit
+        if role.completed.get((client, window_slot)) == req_epoch:
+            # a retry of a PUT this group already applied (its ack was
+            # lost, or the client replayed it across a failover):
+            # re-ack without re-staging.  Re-executing would assign a
+            # second sequence number and clobber any later write to the
+            # same key — the classic lost-update a retried-but-committed
+            # request can cause.
+            yield from self.ha_respond(
+                client, window_slot, op, req_epoch, RESP_OK, epoch,
+                ack_epoch=role.epoch,
+            )
+            return
+        self.puts += 1
+        yield from role.stage_update(client, window_slot, req_epoch, op)
+
+    def ha_respond(
+        self,
+        client: int,
+        window_slot: int,
+        op: Operation,
+        req_epoch: int,
+        status: int,
+        epoch: int,
+        value: Optional[bytes] = None,
+        extra_ns: float = 0.0,
+        ack_epoch: Optional[int] = None,
+    ) -> Generator[Event, None, None]:
+        """Post an HA response ``[slot, req_epoch, status, body...]``.
+
+        Runs either inline on the server core or as a spawned process
+        (commit-time acks arrive from the replication node); both paths
+        are fenced by the process epoch so a crashed incarnation cannot
+        answer.
+        """
+        sim = self.sim
+        if self.epoch != epoch or not self.alive:
+            return
+        if extra_ns:
+            yield sim.timeout(extra_ns)
+            if self.epoch != epoch:
+                return
+        body = encode_response(op.op, value) if status == RESP_OK else b""
+        payload = bytes([window_slot, req_epoch, status]) + body
+        yield from self._respond(client, payload, epoch)
+        if self.epoch != epoch:
+            return
+        self.region.clear_slot(self.index, client, window_slot)
+        self.responses += 1
+        role = self.ha_role
+        if role is not None and status == RESP_OK:
+            role.group.record_ack(
+                role.epoch if ack_epoch is None else ack_epoch, role.replica_id
+            )
+        if self.completion_hook is not None:
+            self.completion_hook(client, op, sim.now)
+
+    def ha_serve_deferred_get(
+        self, client: int, window_slot: int, req_epoch: int, op: Operation, epoch: int
+    ) -> Generator[Event, None, None]:
+        """Answer a GET that waited for a PUT on its key to commit."""
+        if self.epoch != epoch or not self.alive:
+            return
+        self.gets += 1
+        value = self.store.get(op.key)
+        if value is not None:
+            self.get_hits += 1
+        p = self.profile
+        per_access = p.prefetch_hit_ns if self.config.prefetch else p.dram_ns
+        yield self.sim.timeout(self.store.last_op_accesses * per_access)
+        if self.epoch != epoch:
+            return
+        yield from self.ha_respond(
+            client, window_slot, op, req_epoch, RESP_OK, epoch, value=value
+        )
+
+    def _respond(
+        self, client: int, payload: bytes, epoch: Optional[int] = None
+    ) -> Generator[Event, None, None]:
+        """SEND the response over UD, inlined below the cutoff.
+
+        With ``epoch`` given, the send is fenced: a process that
+        crashed mid-respond stops before anything reaches the NIC.
+        """
         p = self.profile
         ah = self.client_ahs[client]
         if len(payload) <= p.herd_inline_cutoff:
@@ -295,13 +441,18 @@ class HerdServerProcess:
             # Large values go out un-inlined: DMA beats PIO for large
             # payloads (Figure 4b), so HERD switches at 144 B on Apt.
             yield self.sim.timeout(len(payload) / 16.0)  # staging memcpy
+            if epoch is not None and self.epoch != epoch:
+                return
             offset = self._stage(payload)
             wr = WorkRequest.send(
                 local=(self._staging, offset, len(payload)), signaled=False, ah=ah
             )
             extent = (offset, offset + len(payload))
             wr.on_fetched = lambda: self._staging_inflight.remove(extent)
-        yield from self.device.post_send_timed(self.ud_qp, wr)
+        yield self.sim.timeout(p.post_send_ns)
+        if epoch is not None and self.epoch != epoch:
+            return
+        yield self.device.post_send(self.ud_qp, wr)
 
     def _stage(self, payload: bytes) -> int:
         """Copy a response into the staging MR; returns its offset.

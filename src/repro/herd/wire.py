@@ -116,3 +116,143 @@ def _check_keyhash(keyhash: bytes) -> None:
         raise ValueError("keyhash must be exactly 16 bytes")
     if keyhash == b"\x00" * KEYHASH_BYTES:
         raise ValueError("the zero keyhash is reserved for free slots")
+
+
+# ---------------------------------------------------------------------------
+# High-availability extensions (repro.ha)
+# ---------------------------------------------------------------------------
+#
+# With replication enabled the response prefix grows a *status* byte:
+# ``[window_slot, request_epoch, status, body...]``.  A status byte —
+# rather than an in-band magic body — keeps GET values fully opaque (a
+# value may legitimately contain any bytes, so no body marker is safe).
+
+#: response served normally; the body follows the classic encoding
+RESP_OK = 0
+#: the replica is no longer the partition's primary (its fencing epoch
+#: is stale); the client must re-resolve the primary and replay
+RESP_STALE_EPOCH = 2
+
+#: replication / control message kinds (first byte of every message)
+REP_UPDATE = 1      # primary -> backup: one sequenced PUT record
+REP_ACK = 2         # backup -> primary: record applied (or stale nack)
+REP_CATCHUP = 3     # backup -> primary: replay your log above my hwm
+CTRL_HEARTBEAT = 4  # replica -> monitor, over UD
+CTRL_GRANT = 5      # monitor -> primary: lease extension
+CTRL_CONFIG = 6     # monitor -> replicas: epoch/primary/membership
+
+#: REP_ACK statuses
+ACK_APPLIED = 0
+ACK_STALE = 1
+
+# kind, partition, sender, epoch, seq, vlen, client, window_slot,
+# req_epoch: the trailing three are the originating request's token, so
+# a replica can recognise a client's retry of an already-applied PUT
+# even after a failover (exactly-once apply)
+_UPDATE_HDR = struct.Struct("<BBBIQHHBB")
+_ACK_MSG = struct.Struct("<BBBIQBQ")     # kind, partition, sender, epoch, seq, status, hwm
+_CATCHUP_MSG = struct.Struct("<BBBIQ")   # kind, partition, sender, epoch, from_seq
+_HB_MSG = struct.Struct("<BBBBIQd")      # kind, partition, sender, primary?, epoch, hwm, sent_ns
+_GRANT_MSG = struct.Struct("<BBBId")     # kind, partition, target, epoch, hb_sent_ns
+_CONFIG_HDR = struct.Struct("<BBBIB")    # kind, partition, primary, epoch, n_members
+
+
+def ha_kind(data: bytes) -> int:
+    """The message-kind byte of an HA replication/control message."""
+    return data[0]
+
+
+def encode_update(
+    partition: int,
+    sender: int,
+    epoch: int,
+    seq: int,
+    keyhash: bytes,
+    value: bytes,
+    client: int = 0,
+    window_slot: int = 0,
+    req_epoch: int = 0,
+) -> bytes:
+    """One sequenced PUT record shipped primary -> backup over RC."""
+    _check_keyhash(keyhash)
+    return (
+        _UPDATE_HDR.pack(
+            REP_UPDATE, partition, sender, epoch, seq, len(value),
+            client, window_slot, req_epoch,
+        )
+        + keyhash
+        + value
+    )
+
+
+def decode_update(data: bytes):
+    """(partition, sender, epoch, seq, keyhash, value, client,
+    window_slot, req_epoch)."""
+    (
+        kind, partition, sender, epoch, seq, vlen,
+        client, window_slot, req_epoch,
+    ) = _UPDATE_HDR.unpack_from(data)
+    assert kind == REP_UPDATE
+    start = _UPDATE_HDR.size
+    keyhash = data[start:start + KEYHASH_BYTES]
+    value = data[start + KEYHASH_BYTES:start + KEYHASH_BYTES + vlen]
+    return partition, sender, epoch, seq, keyhash, value, client, window_slot, req_epoch
+
+
+def encode_rep_ack(
+    partition: int, sender: int, epoch: int, seq: int, status: int, hwm: int
+) -> bytes:
+    return _ACK_MSG.pack(REP_ACK, partition, sender, epoch, seq, status, hwm)
+
+
+def decode_rep_ack(data: bytes):
+    """(partition, sender, epoch, seq, status, hwm)."""
+    return _ACK_MSG.unpack(data)[1:]
+
+
+def encode_catchup(partition: int, sender: int, epoch: int, from_seq: int) -> bytes:
+    return _CATCHUP_MSG.pack(REP_CATCHUP, partition, sender, epoch, from_seq)
+
+
+def decode_catchup(data: bytes):
+    """(partition, sender, epoch, from_seq)."""
+    return _CATCHUP_MSG.unpack(data)[1:]
+
+
+def encode_heartbeat(
+    partition: int, sender: int, is_primary: bool, epoch: int, hwm: int, sent_ns: float
+) -> bytes:
+    return _HB_MSG.pack(
+        CTRL_HEARTBEAT, partition, sender, 1 if is_primary else 0, epoch, hwm, sent_ns
+    )
+
+
+def decode_heartbeat(data: bytes):
+    """(partition, sender, is_primary, epoch, hwm, sent_ns)."""
+    _, partition, sender, primary, epoch, hwm, sent_ns = _HB_MSG.unpack(data)
+    return partition, sender, bool(primary), epoch, hwm, sent_ns
+
+
+def encode_grant(partition: int, target: int, epoch: int, hb_sent_ns: float) -> bytes:
+    return _GRANT_MSG.pack(CTRL_GRANT, partition, target, epoch, hb_sent_ns)
+
+
+def decode_grant(data: bytes):
+    """(partition, target, epoch, hb_sent_ns)."""
+    return _GRANT_MSG.unpack(data)[1:]
+
+
+def encode_config(
+    partition: int, primary: int, epoch: int, members
+) -> bytes:
+    members = sorted(members)
+    return _CONFIG_HDR.pack(
+        CTRL_CONFIG, partition, primary, epoch, len(members)
+    ) + bytes(members)
+
+
+def decode_config(data: bytes):
+    """(partition, primary, epoch, members-tuple)."""
+    _, partition, primary, epoch, n = _CONFIG_HDR.unpack_from(data)
+    members = tuple(data[_CONFIG_HDR.size:_CONFIG_HDR.size + n])
+    return partition, primary, epoch, members

@@ -257,6 +257,29 @@ def _chaos() -> SweepSpec:
     )
 
 
+def _ha_failover() -> SweepSpec:
+    return SweepSpec(
+        name="ha-failover",
+        task="ha",
+        base=dict(
+            scenario="kill-primary",
+            horizon_ns=150_000.0,
+            n_clients=4,
+            n_items=64,
+            value_size=24,
+            n_server_processes=2,
+        ),
+        axes=[
+            Axis("replication_factor", [2, 3]),
+            Axis("ack_policy", ["all", "majority"]),
+            Axis("intensity", [0.25, 1.0]),
+        ],
+        description="kill-primary failover grid: rf x ack policy x fault "
+        "intensity, gating availability, lost writes, and replication "
+        "overhead",
+    )
+
+
 def _figures() -> SweepSpec:
     return SweepSpec(
         name="figures",
@@ -274,5 +297,6 @@ BUILTIN_SPECS = {
     "window": _window,
     "skew": _skew,
     "chaos": _chaos,
+    "ha-failover": _ha_failover,
     "figures": _figures,
 }

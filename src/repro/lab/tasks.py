@@ -1,13 +1,16 @@
 """Lab tasks: what one sweep point actually runs.
 
 A task takes a resolved parameter dict plus the point seed and returns
-a flat ``{metric_name: value}`` dict.  Three tasks cover the repo's
+a flat ``{metric_name: value}`` dict.  Four tasks cover the repo's
 harnesses:
 
 * ``herd`` — one :func:`repro.bench.figures.run_herd` cell; headline
   metrics are ``mops``, ``p50_us``, ``p99_us`` (the gate's defaults);
 * ``chaos`` — one :func:`repro.faults.run_chaos` run; ``ok`` must stay
   1.0 and the completion counters are tracked;
+* ``ha`` — a replicated chaos scenario plus an unreplicated reference
+  run; gates availability, lost writes, failover latency, and the
+  replication goodput overhead;
 * ``figure`` — a whole figure from :data:`repro.bench.figures.FIGURES`,
   flattened to one metric per ``series/x`` cell, so every existing
   figure is lab-runnable (cached, parallel, gated) without changes.
@@ -33,9 +36,16 @@ HIGHER_IS_BETTER = ("mops", "ops", "completed", "ok")
 def metric_direction(name: str) -> int:
     """+1 if larger is better, -1 if smaller is better, 0 if two-sided."""
     short = name.rsplit("/", 1)[-1]
-    if short in HIGHER_IS_BETTER:
+    if short in HIGHER_IS_BETTER or short in ("availability", "ops_acked"):
         return 1
-    if short.endswith(("_us", "_ns")) or short in ("retries", "abandoned", "violations"):
+    if short.endswith(("_us", "_ns")) or short in (
+        "retries",
+        "abandoned",
+        "violations",
+        "ops_lost",
+        "stale_nacks",
+        "goodput_overhead_pct",
+    ):
         return -1
     return 0
 
@@ -89,6 +99,60 @@ def run_chaos_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
         "retries": float(report.retries),
         "abandoned": float(report.abandoned),
         "violations": float(len(report.violations)),
+    }
+    metrics.update(_obs_metrics(session))
+    return metrics
+
+
+def run_ha_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """One replicated chaos scenario plus an unreplicated reference run.
+
+    The scenario run prices availability (checker verdict, acked/lost
+    ops, failover latency); the reference run — same workload and
+    cluster shape, ``replication_factor=1``, fault-free — prices the
+    replication overhead as ``goodput_overhead_pct``: how much goodput
+    the replicated cluster gives up relative to the classic one.
+    """
+    from repro.faults import run_chaos
+    from repro.faults.plan import FaultPlan
+
+    kwargs = dict(params)
+    kwargs.setdefault("seed", seed)
+    kwargs.setdefault("scenario", "kill-primary")
+    horizon_ns = float(kwargs.get("horizon_ns", 300_000.0))
+    with obs.capture(metrics=True) as session:
+        report = run_chaos(**kwargs)
+        ref_kwargs = {
+            key: kwargs[key]
+            for key in (
+                "seed",
+                "horizon_ns",
+                "drain_ns",
+                "n_clients",
+                "n_items",
+                "value_size",
+                "get_fraction",
+                "n_server_processes",
+            )
+            if key in kwargs
+        }
+        reference = run_chaos(plan=FaultPlan(seed=kwargs["seed"]), **ref_kwargs)
+    goodput_kops = report.completed / horizon_ns * 1e6
+    ref_kops = reference.completed / horizon_ns * 1e6
+    overhead_pct = (
+        (ref_kops - goodput_kops) / ref_kops * 100.0 if ref_kops else 0.0
+    )
+    metrics = {
+        "ok": 1.0 if report.ok and reference.ok else 0.0,
+        "availability": report.availability,
+        "failover_latency_us": report.failover_latency_ns / 1000.0,
+        "goodput_kops": goodput_kops,
+        "goodput_overhead_pct": overhead_pct,
+        "ops_acked": float(report.ops_acked),
+        "ops_lost": float(report.ops_lost),
+        "stale_nacks": float(report.stale_nacks),
+        "replays": float(report.replays),
+        "promotions": float(report.promotions),
     }
     metrics.update(_obs_metrics(session))
     return metrics
@@ -148,6 +212,7 @@ def run_selftest_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
 TASKS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, float]]] = {
     "herd": run_herd_task,
     "chaos": run_chaos_task,
+    "ha": run_ha_task,
     "figure": run_figure_task,
     "selftest": run_selftest_task,
 }
@@ -156,6 +221,13 @@ TASKS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, float]]] = {
 HEADLINE_METRICS = {
     "herd": ("mops", "p50_us", "p99_us"),
     "chaos": ("ok", "completed"),
+    "ha": (
+        "ok",
+        "availability",
+        "failover_latency_us",
+        "goodput_overhead_pct",
+        "ops_lost",
+    ),
     "figure": None,  # None = every figure cell is a headline metric
     "selftest": ("mops", "value"),
 }

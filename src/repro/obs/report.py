@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -25,14 +25,20 @@ class RunReport:
     metrics: Dict[str, Any] = field(default_factory=dict)
     #: number of trace events held by the simulator's tracer, if any
     trace_events: int = 0
+    #: per-scenario outcome rows (chaos/HA runs): scenario, ops acked,
+    #: ops lost, checker verdict — see ChaosReport.outcome_row()
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "sim_time_ns": self.sim_time_ns,
             "trace_events": self.trace_events,
             "metrics": self.metrics,
         }
+        if self.outcomes:
+            payload["outcomes"] = self.outcomes
+        return payload
 
     @classmethod
     def from_sim(cls, sim: Any, name: str = "") -> Optional["RunReport"]:

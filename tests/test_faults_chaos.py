@@ -75,3 +75,59 @@ def test_cli_chaos_smoke(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "chaos" in out.lower()
+
+
+def test_outcome_table_aligns_columns():
+    from repro.bench.cli import _outcome_table
+
+    rows = [
+        {
+            "scenario": "kill-primary",
+            "seed": 7,
+            "ops_acked": 930,
+            "ops_lost": 0,
+            "availability": 0.9907,
+            "checker": "linearizable",
+            "verdict": "OK",
+        },
+        {
+            "scenario": "randomized",
+            "seed": 8,
+            "ops_acked": 12,
+            "ops_lost": 3,
+            "availability": 1.0,
+            "checker": "n/a",
+            "verdict": "FAILED",
+        },
+    ]
+    table = _outcome_table(rows)
+    lines = table.splitlines()
+    assert len(lines) == 3
+    assert lines[0].split() == [
+        "scenario", "seed", "acked", "lost", "availability", "checker", "verdict",
+    ]
+    # every row puts the verdict in the same column
+    col = lines[0].index("verdict")
+    assert lines[1][col:].strip() == "OK"
+    assert lines[2][col:].strip() == "FAILED"
+
+
+def test_cli_chaos_scenario_prints_the_outcome_table(capsys):
+    rc = main(
+        [
+            "--chaos",
+            "--chaos-seed",
+            "11",
+            "--chaos-runs",
+            "1",
+            "--chaos-scenario",
+            "kill-primary",
+            "--chaos-horizon",
+            str(HORIZON),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    # the per-scenario outcome table, plus the HA lines of the summary
+    assert "scenario" in out and "verdict" in out
+    assert "kill-primary" in out and "OK" in out

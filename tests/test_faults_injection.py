@@ -310,3 +310,46 @@ def test_duplication_never_completes_an_op_twice():
     cluster.run(warmup_ns=0, measure_ns=400_000)
     for client in cluster.clients:
         assert client.completed + client.outstanding + client.abandoned == client.issued
+
+
+# ---------------------------------------------------------------------------
+# Overlapping fault windows
+# ---------------------------------------------------------------------------
+
+
+def test_overlapping_crash_windows_recover_at_the_union_end():
+    # Regression: two overlapping crash windows on the same server used
+    # to revive it when the *first* window's recovery fired, shrinking
+    # the outage to whichever window ended earliest.  The injector now
+    # holds the server down until the union of all windows has passed.
+    cluster = HerdCluster(
+        HerdConfig(n_server_processes=2, retry_timeout_ns=40_000.0),
+        n_client_machines=1,
+        seed=3,
+    )
+    cluster.add_clients(2, Workload(get_fraction=0.5, value_size=32, n_keys=64))
+    cluster.wire()
+    cluster.preload(range(64), 32)
+    plan = (
+        FaultPlan(seed=3)
+        .crash_server(0, at_ns=40_000.0, down_ns=100_000.0)   # [40k, 140k)
+        .crash_server(0, at_ns=80_000.0, down_ns=100_000.0)   # [80k, 180k)
+    )
+    cluster.install_faults(plan)
+    for client in cluster.clients:
+        client.start()
+    for server in cluster.servers:
+        server.start()
+    server = cluster.servers[0]
+    sim = cluster.sim
+    sim.run(until=150_000.0)
+    # past the first window's end, still inside the second: the first
+    # recovery event must have been suppressed
+    assert not server.alive
+    sim.run(until=185_000.0)
+    assert server.alive
+    # the second crash event found the server already dead, so exactly
+    # one crash and one recovery are counted
+    assert (server.crashes, server.recoveries) == (1, 1)
+    assert cluster.injector.counts.get("server_crash", 0) == 1
+    assert cluster.injector.counts.get("server_recovery", 0) == 1

@@ -1,0 +1,180 @@
+"""Replicated partitions losing their primary mid-load.
+
+The acceptance bar for repro.ha: with rf=3 and majority acks, killing a
+partition's primary must lose zero acknowledged writes, the recorded
+history must check out linearizable, availability must stay above 99%,
+and the whole run — including failover timing — must be bit-for-bit
+reproducible from the seed.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, run_chaos
+from repro.herd import HerdCluster, HerdConfig
+from repro.workloads import Workload
+
+#: the ha-smoke configuration (Makefile) — one primary kill at 35% of a
+#: 300 us horizon, majority acks, background noise at half intensity
+ACCEPTANCE = dict(
+    seed=11,
+    scenario="kill-primary",
+    horizon_ns=300_000.0,
+    n_clients=4,
+    n_items=64,
+    value_size=24,
+    n_server_processes=2,
+    intensity=0.5,
+    replication_factor=3,
+    ack_policy="majority",
+)
+
+
+@pytest.fixture(scope="module")
+def acceptance_report():
+    return run_chaos(**ACCEPTANCE)
+
+
+def test_kill_primary_loses_no_acked_writes(acceptance_report):
+    report = acceptance_report
+    assert report.ok, report.violations
+    assert report.checker == "linearizable"
+    assert report.ops_lost == 0
+    assert report.ops_acked > 0
+    assert report.promotions >= 1
+
+
+def test_kill_primary_availability_above_99_percent(acceptance_report):
+    report = acceptance_report
+    assert report.availability > 0.99, "availability %.4f" % report.availability
+    assert report.availability <= 1.0
+    # the outage is real: failover took measurable (but bounded) time
+    assert 0.0 < report.failover_latency_ns < 0.1 * ACCEPTANCE["horizon_ns"]
+
+
+def test_kill_primary_fingerprint_is_deterministic(acceptance_report):
+    again = run_chaos(**ACCEPTANCE)
+    assert again.ok, again.violations
+    # the fingerprint covers the outage windows and failover timing,
+    # not just op counts — equal fingerprints pin the whole schedule
+    assert again.fingerprint == acceptance_report.fingerprint
+    assert again.failover_latency_ns == acceptance_report.failover_latency_ns
+    assert (again.promotions, again.replays, again.stale_nacks) == (
+        acceptance_report.promotions,
+        acceptance_report.replays,
+        acceptance_report.stale_nacks,
+    )
+
+
+def test_partition_primary_scenario_keeps_the_history_linearizable():
+    report = run_chaos(
+        **dict(ACCEPTANCE, scenario="partition-primary", horizon_ns=150_000.0)
+    )
+    # the old primary comes back from the partition with a stale epoch:
+    # fencing must turn its acks into nacks, never into split brain
+    assert report.ok, report.violations
+    assert report.checker == "linearizable"
+    assert report.ops_lost == 0
+    assert report.scenario == "partition-primary"
+
+
+def test_replayed_put_applies_exactly_once():
+    # Regression: this seed (an ha-failover sweep point) once lost an
+    # acked write — a PUT committed, its ack was dropped by link noise,
+    # and the client's retry was re-staged as a *new* update that
+    # re-committed the old value over a newer one.  The request token in
+    # the update record and the replica's completed-table turn that
+    # retry into a plain re-ack.
+    report = run_chaos(
+        seed=15818362488815368293,
+        scenario="kill-primary",
+        horizon_ns=150_000.0,
+        n_clients=4,
+        n_items=64,
+        value_size=24,
+        n_server_processes=2,
+        intensity=0.25,
+        replication_factor=2,
+        ack_policy="all",
+    )
+    assert report.ok, report.violations
+    assert report.checker == "linearizable"
+    assert report.ops_lost == 0
+
+
+def test_ha_scenarios_require_replication():
+    with pytest.raises(ValueError):
+        run_chaos(scenario="kill-primary", replication_factor=1)
+    with pytest.raises(ValueError):
+        run_chaos(scenario="no-such-scenario")
+
+
+def test_outcome_row_reports_the_verdict(acceptance_report):
+    row = acceptance_report.outcome_row()
+    assert row["scenario"] == "kill-primary"
+    assert row["verdict"] == "OK"
+    assert row["ops_lost"] == 0
+    assert row["ops_acked"] == acceptance_report.ops_acked
+    text = acceptance_report.summary()
+    assert "kill-primary" in text and "linearizable" in text
+
+
+# ---------------------------------------------------------------------------
+# Lease-aware parking
+# ---------------------------------------------------------------------------
+
+
+def test_promotion_unparks_the_partition_before_the_old_primary_returns():
+    """park -> promote -> un-park.
+
+    With a tiny window the dead partition's slots fill instantly and
+    clients park further ops for it.  The parked backlog must start
+    draining at *promotion* (a backup adopted the partition), long
+    before the crashed replica itself recovers — that gap is exactly
+    what replication buys over single-copy crash recovery.
+    """
+    config = HerdConfig(
+        n_server_processes=2,
+        window=2,
+        retry_timeout_ns=20_000.0,
+        replication_factor=3,
+        ack_policy="majority",
+    )
+    cluster = HerdCluster(config, n_client_machines=2, seed=9)
+    cluster.add_clients(4, Workload(get_fraction=0.5, value_size=24, n_keys=64))
+    cluster.wire()
+    cluster.preload(range(64), 24)
+    down_start, down_end = 60_000.0, 260_000.0
+    cluster.install_faults(
+        FaultPlan(seed=9).crash_server(
+            0, at_ns=down_start, down_ns=down_end - down_start
+        )
+    )
+    stamps = []
+    for replica, servers in enumerate(cluster.ha.replica_servers):
+        def hook(client_id, op, now, _r=replica):
+            stamps.append((_r, now))
+
+        servers[0].completion_hook = hook
+    parked_high = [0]
+
+    def probe():
+        while True:
+            yield cluster.sim.timeout(1_000.0)
+            backlog = sum(len(c._parked[0]) for c in cluster.clients)
+            parked_high[0] = max(parked_high[0], backlog)
+
+    cluster.sim.process(probe(), name="park-probe")
+    cluster.run(warmup_ns=0, measure_ns=300_000.0)
+
+    monitor = cluster.ha.monitor
+    assert monitor.promotions >= 1
+    outages = [o for o in monitor.outages if o[0] == 0]
+    assert outages, "the monitor never noticed the dead partition"
+    adopted = outages[0][2]
+    assert down_start < adopted < down_end
+    assert parked_high[0] > 0, "the outage never forced an op to park"
+    # completions for partition 0 resume between promotion and the old
+    # primary's recovery, and none of them come from the dead replica
+    resumed = [(r, t) for r, t in stamps if adopted <= t < down_end]
+    assert resumed, "partition 0 stayed parked until the crashed replica returned"
+    assert all(r != 0 for r, t in resumed)

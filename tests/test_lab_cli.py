@@ -68,7 +68,8 @@ def test_run_show_baseline_gate_roundtrip(tmp_path, capsys, spec_file):
     out = capsys.readouterr().out
     assert "PASS" in out
     payload = json.loads(open(bench).read())
-    assert payload["pass"] is True and payload["spec"] == "clitest"
+    assert payload["pass"] is True and payload["version"] == 2
+    assert payload["specs"]["clitest"]["spec"] == "clitest"
 
     # perturb one stored metric beyond tolerance: the gate must fail
     perturbed = json.load(open(base))

@@ -181,8 +181,45 @@ def test_baseline_roundtrip_and_bench_json(tmp_path):
     assert payload["metrics"][label]["mops"]["status"] == "regression"
     out = tmp_path / "BENCH_lab.json"
     write_bench_json(report, loaded, str(out))
-    assert json.loads(out.read_text())["spec"] == "g"
+    written = json.loads(out.read_text())
+    assert written["version"] == 2
+    assert written["specs"]["g"]["spec"] == "g"
+    assert written["pass"] is False
     with pytest.raises(ValueError, match="not a lab baseline"):
         json.dump({"x": 1}, open(tmp_path / "bad.json", "w")) or load_baseline(
             str(tmp_path / "bad.json")
         )
+
+
+def test_bench_json_merges_specs_and_upgrades_v1(tmp_path):
+    spec, results = spec_and_results()
+    baseline = capture_baseline(spec, results)
+    good = check(spec, results, baseline)
+    out = tmp_path / "BENCH_lab.json"
+    # a v1 file from an older gate run for a *different* spec...
+    v1 = bench_json(check(spec, results, baseline), baseline)
+    v1["spec"] = "older"
+    out.write_text(json.dumps(v1))
+    # ...is upgraded in place and kept alongside the new spec's entry
+    write_bench_json(good, baseline, str(out))
+    merged = json.loads(out.read_text())
+    assert merged["version"] == 2
+    assert set(merged["specs"]) == {"older", "g"}
+    assert merged["pass"] is True
+    # a failing spec flips the conjunction without erasing the others
+    bad = check(spec, perturbed(results, "mops", 0.5), baseline)
+    write_bench_json(bad, baseline, str(out))
+    merged = json.loads(out.read_text())
+    assert set(merged["specs"]) == {"older", "g"}
+    assert merged["specs"]["g"]["pass"] is False
+    assert merged["pass"] is False
+
+
+def test_ha_metric_directions_and_tolerances():
+    assert metric_direction("availability") == 1
+    assert metric_direction("ops_acked") == 1
+    assert metric_direction("ops_lost") == -1
+    assert metric_direction("goodput_overhead_pct") == -1
+    assert metric_direction("failover_latency_us") == -1
+    assert DEFAULT_TOLERANCES["ops_lost"] == 0.0
+    assert tolerance_for("availability", DEFAULT_TOLERANCES) == 0.005
