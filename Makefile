@@ -1,6 +1,6 @@
 # Convenience targets for the HERD reproduction.
 
-.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke clean
+.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke elastic-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -66,6 +66,33 @@ ha-smoke:
 		assert a.fingerprint == b.fingerprint, 'nondeterministic fingerprint'; \
 		print('ha-smoke ok: %d acked, 0 lost, availability %.4f, fingerprint %s' \
 		% (a.ops_acked, a.availability, a.fingerprint[:16]))"
+
+# A spare partition joins a live replicated cluster while a kill-primary
+# fault lands on the migration source: the reshard must complete (after
+# an abort + restart), lose zero acked writes, keep the history
+# linearizable, and reproduce bit-for-bit; then the elasticity sweep is
+# gated against its committed baseline (tail throughput must track the
+# born-full reference cluster), folding into BENCH_lab.json.
+elastic-smoke:
+	python -c "from repro.faults import run_chaos; \
+		kw = dict(seed=11, scenario='migrate-under-kill', horizon_ns=300000.0, \
+		n_clients=4, n_items=64, value_size=24, n_server_processes=3, \
+		intensity=0.5, replication_factor=3, ack_policy='majority'); \
+		a = run_chaos(**kw); b = run_chaos(**kw); \
+		print(a.summary()); \
+		assert a.ok, a.violations; \
+		assert a.checker == 'linearizable', a.checker; \
+		assert a.ops_lost == 0, '%d acked writes lost' % a.ops_lost; \
+		assert a.migrations_done >= 1, 'no migration completed'; \
+		assert a.migrations_aborted >= 1, 'the kill never hit a live migration'; \
+		assert a.fingerprint == b.fingerprint, 'nondeterministic fingerprint'; \
+		print('elastic-smoke ok: map v%d, %d migrations done (%d aborted), ' \
+		'%d reroutes, fingerprint %s' \
+		% (a.map_version, a.migrations_done, a.migrations_aborted, \
+		a.reroutes, a.fingerprint[:16]))"
+	python -m repro.lab.cli run elasticity --workers 2 --timeout 600
+	python -m repro.lab.cli gate elasticity \
+		--baseline benchmarks/baselines/elasticity.json
 
 # The lab gate, end to end: a 4-point parallel sweep lands in the
 # result store, a re-run must be served entirely from cache, the

@@ -1,0 +1,115 @@
+"""Elastic resharding: shard maps, a live join, and chaos (repro.elastic).
+
+Three steps:
+
+1. the shard map algebra — striped boot maps, fenced assignment, and
+   the move lists a join/leave expands into;
+2. a spare partition joining a live replicated cluster: the
+   coordinator migrates an equal share onto it while clients keep
+   completing ops, and the map version advances on each fenced cutover;
+3. the migrate-under-kill chaos scenario: the migration source's
+   primary dies mid-copy, the move aborts and restarts after failover,
+   and the linearizability checker proves nothing acked was lost.
+
+Run:  python examples/elasticity.py
+"""
+
+from repro.elastic import HASH_SPACE, ShardMap
+from repro.faults import run_chaos
+from repro.herd import HerdCluster, HerdConfig
+from repro.workloads.ycsb import Workload
+
+
+def shard_map_algebra() -> None:
+    """Immutable, version-fenced range tables over the keyhash space."""
+    boot = ShardMap.striped(2)
+    print("boot map:     %r" % boot)
+    moves = boot.plan_join(2)
+    print("join plan:    %d moves, each (lo, hi, src, dst)" % len(moves))
+    grown = boot
+    for lo, hi, _src, dst in moves:
+        grown = grown.assign(lo, hi, dst)  # one fenced migration each
+    print("after join:   %r" % grown)
+    print(
+        "shares:       "
+        + ", ".join(
+            "p%d=%.3f" % (p, grown.share_of(p)) for p in grown.owners()
+        )
+    )
+    # versions are the fencing token: older maps are never re-adopted
+    assert grown.version == boot.version + len(moves)
+    assert grown.owner_of_hash(HASH_SPACE - 1) != boot.owner_of_hash(
+        HASH_SPACE - 1
+    )
+
+
+def live_join() -> None:
+    """A spare partition joins under live traffic; ownership moves."""
+    print()
+    config = HerdConfig(
+        n_server_processes=3,
+        n_active_partitions=2,  # partition 2 exists but owns nothing yet
+        window=4,
+        retry_timeout_ns=10_000.0,
+        replication_factor=3,
+        ack_policy="majority",
+        lease_us=5.0,
+        heartbeat_us=1.0,
+    )
+    cluster = HerdCluster(config, n_client_machines=2, seed=7)
+    cluster.add_clients(4, Workload(get_fraction=0.5, value_size=24, n_keys=64))
+    cluster.preload(range(64), 24)
+    before = cluster.elastic.shard_map
+    cluster.elastic.coordinator.schedule_join(2, at_ns=60_000.0)
+    result = cluster.run(warmup_ns=0, measure_ns=300_000.0)
+    after = cluster.elastic.shard_map
+    counters = cluster.elastic.counters()
+    print("map before:   %r" % before)
+    print("map after:    %r" % after)
+    print(
+        "join:         %d migrations, %d records moved, %.2f Mops meanwhile"
+        % (counters["migrations_done"], counters["records_applied"], result.mops)
+    )
+    print(
+        "clients:      %d NOT_OWNER nacks, %d reroutes, %d map refreshes"
+        % (
+            sum(c.not_owner_nacks for c in cluster.clients),
+            sum(c.reroutes for c in cluster.clients),
+            sum(c.map_refreshes for c in cluster.clients),
+        )
+    )
+    assert after.version > before.version
+    assert 2 in after.owners()
+
+
+def migrate_under_kill() -> None:
+    """The elastic-smoke scenario: a kill lands mid-migration."""
+    print()
+    report = run_chaos(
+        seed=11,
+        scenario="migrate-under-kill",
+        horizon_ns=300_000.0,
+        n_clients=4,
+        n_items=64,
+        value_size=24,
+        n_server_processes=3,
+        intensity=0.5,
+        replication_factor=3,
+        ack_policy="majority",
+    )
+    print(report.summary())
+    assert report.ok, report.violations
+    assert report.checker == "linearizable"
+    assert report.ops_lost == 0
+    assert report.migrations_done >= 1
+    assert report.migrations_aborted >= 1, "the kill missed the migration"
+
+
+def main() -> None:
+    shard_map_algebra()
+    live_join()
+    migrate_under_kill()
+
+
+if __name__ == "__main__":
+    main()

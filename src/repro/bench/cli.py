@@ -89,11 +89,23 @@ def _outcome_table(rows) -> str:
 def _run_chaos(args) -> int:
     """``herd-bench --chaos``: seeded chaos runs with invariant checks."""
     from repro.faults import run_chaos
-    from repro.faults.chaos import HA_SCENARIOS
+    from repro.faults.chaos import HA_SCENARIOS, SCENARIOS
 
+    if args.chaos_scenario == "list":
+        print("chaos scenarios:")
+        for name, blurb in SCENARIOS.items():
+            print("  %-18s %s" % (name, blurb))
+        print("(or 'all'; default: classic unreplicated chaos)")
+        return 0
     if args.chaos_scenario == "all":
         scenarios = list(HA_SCENARIOS)
     elif args.chaos_scenario:
+        if args.chaos_scenario not in HA_SCENARIOS:
+            print(
+                "unknown chaos scenario %r (try --chaos-scenario list)"
+                % args.chaos_scenario
+            )
+            return 2
         scenarios = [args.chaos_scenario]
     else:
         scenarios = [None]
@@ -238,11 +250,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--chaos-scenario",
-        choices=("kill-primary", "partition-primary", "all"),
         default=None,
         metavar="S",
-        help="run a replicated (HA) cluster and target its primary: "
-        "kill-primary, partition-primary, or all (default: classic "
+        help="run a replicated (HA) cluster under a named fault scenario "
+        "('list' prints them; 'all' runs every one; default: classic "
         "unreplicated chaos); the linearizability checker gates the "
         "result and a per-scenario outcome table is printed",
     )

@@ -1,0 +1,54 @@
+"""repro.elastic: shard map service, live migration, and membership.
+
+The elastic layer turns the static HERD cluster into one whose key
+ownership can move under live traffic (see docs/ELASTICITY.md):
+
+* :class:`ShardMap` — an immutable, version-fenced range table over
+  the 64-bit keyhash space, replacing the static modulo mapping;
+* :class:`ElasticAgent` — per replica machine: migration source/sink
+  over the repro.ha replication mesh, plus ownership verdicts for the
+  serve path (``RESP_NOT_OWNER`` / cutover holds);
+* :class:`ShardCoordinator` — membership (join/leave) and serialized,
+  fenced migration supervision beside the lease monitor;
+* :class:`ElasticRuntime` — the cluster-facing handle bundling the
+  coordinator and agents.
+"""
+
+from repro.elastic.shardmap import HASH_SPACE, ShardMap
+from repro.elastic.migration import ElasticAgent, MigrationSink, MigrationSource
+from repro.elastic.coordinator import ShardCoordinator
+
+
+class ElasticRuntime:
+    """What an elastic cluster hangs on to: coordinator + agents."""
+
+    def __init__(self, coordinator, agents):
+        self.coordinator = coordinator
+        self.agents = agents
+
+    @property
+    def shard_map(self):
+        """The authoritative (coordinator-held) shard map."""
+        return self.coordinator.map
+
+    def counters(self):
+        """Aggregated evidence for fingerprints and reports."""
+        return {
+            "map_version": self.coordinator.map.version,
+            "migrations_done": self.coordinator.migrations_done,
+            "migrations_aborted": self.coordinator.migrations_aborted,
+            "records_sent": sum(a.records_sent for a in self.agents),
+            "records_applied": sum(a.records_applied for a in self.agents),
+            "maps_adopted": sum(a.maps_adopted for a in self.agents),
+        }
+
+
+__all__ = [
+    "HASH_SPACE",
+    "ShardMap",
+    "ElasticAgent",
+    "MigrationSink",
+    "MigrationSource",
+    "ShardCoordinator",
+    "ElasticRuntime",
+]

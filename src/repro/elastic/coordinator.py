@@ -1,0 +1,303 @@
+"""The shard-map coordinator: membership and migration supervision.
+
+A :class:`ShardCoordinator` runs beside the :class:`~repro.ha.detector.
+LeaseMonitor` on the monitor machine.  It holds the authoritative
+:class:`~repro.elastic.shardmap.ShardMap` and drives every ownership
+change as a serialized queue of *moves* ``(lo, hi, src, dst)`` — one
+live migration at a time, each fenced individually, so the cluster
+stays fully available throughout a rebalance.
+
+One move's life cycle:
+
+1. ``CTRL_MIG_START`` to the source partition's primary *machine*
+   (resolved — with its fencing epoch — from the monitor's live view).
+   The source snapshots and streams; the coordinator re-sends the
+   idempotent START every tick until progress, because control UD
+   SENDs can drop.
+2. The source reports ``MIG_SYNCED`` (stream drained).  The
+   coordinator re-verifies that both primaries and epochs still match
+   what the move was started against, then sends ``CTRL_MIG_CUTOVER``:
+   the source freezes the range (in-range requests hold) and flushes.
+3. The source reports ``MIG_FLUSHED``.  After the same verification,
+   the coordinator *assigns* the range in a new map (version + 1),
+   broadcasts ``CTRL_SHARDMAP`` to every replica machine, and fans the
+   map out to clients via ``map_listeners`` (the same out-of-band
+   channel the monitor uses for CONFIGs).  Adopting the map retires
+   the source's migration and releases held requests as
+   ``RESP_NOT_OWNER`` — clients re-route to the new owner.
+
+If either side's primary or epoch changes mid-move — the kill-primary
+chaos case — or the move stalls, the coordinator aborts it and
+re-queues the same range under a **fresh, larger mig_id**; the
+destination's highest-mig-id-wins rule silences the stale stream.
+Nothing is lost: the map only ever advances on a verified FLUSH, so
+an aborted move leaves ownership (and every acked write) at the
+source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim import Simulator
+from repro.verbs import CompletionQueue, RdmaDevice, RecvRequest, Transport, WorkRequest
+from repro.herd.config import HerdConfig
+from repro.herd import wire
+from repro.elastic.shardmap import ShardMap
+
+#: UD RECV slot (GRH + MIG_EVENT) and ring depth
+CTRL_SLOT = 40 + 32
+CTRL_RING = 256
+#: ticks (heartbeats) without progress before a move is presumed wedged
+STALL_TICKS = 100.0
+#: map re-broadcast period, in heartbeats (repairs dropped SHARDMAPs)
+MAP_RECAST_TICKS = 4.0
+
+
+class _ActiveMove:
+    """One in-flight migration and the world it was started against."""
+
+    __slots__ = (
+        "mig_id", "lo", "hi", "src_partition", "dst_partition",
+        "src_replica", "src_epoch", "dst_replica", "dst_epoch",
+        "phase", "last_progress_ns",
+    )
+
+    def __init__(self, mig_id, lo, hi, src_partition, dst_partition,
+                 src_replica, src_epoch, dst_replica, dst_epoch, now):
+        self.mig_id = mig_id
+        self.lo = lo
+        self.hi = hi
+        self.src_partition = src_partition
+        self.dst_partition = dst_partition
+        self.src_replica = src_replica
+        self.src_epoch = src_epoch
+        self.dst_replica = dst_replica
+        self.dst_epoch = dst_epoch
+        self.phase = "copy"  # -> "cutover"
+        self.last_progress_ns = now
+
+
+class ShardCoordinator:
+    """Authoritative shard map + serialized migration supervision."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: RdmaDevice,
+        config: HerdConfig,
+        monitor,
+        shard_map: ShardMap,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.config = config
+        self.monitor = monitor  # LeaseMonitor, co-located: read its live view
+        self.map = shard_map
+        self.heartbeat_ns = config.heartbeat_us * 1000.0
+        self.stall_ns = STALL_TICKS * self.heartbeat_ns
+
+        self.recv_cq = CompletionQueue(sim, "elastic.coord.rcq")
+        self.ud_qp = device.create_qp(Transport.UD, recv_cq=self.recv_cq)
+        self.recv_mr = device.register_memory(CTRL_RING * CTRL_SLOT)
+        #: replica id -> (machine, ctrl qpn), wired by the cluster
+        self.node_ahs: Dict[int, Tuple[str, int]] = {}
+        #: out-of-band map fan-out to clients: fn(ShardMap) — the
+        #: elastic sibling of the monitor's config_listeners
+        self.map_listeners: List[Callable[[ShardMap], None]] = []
+
+        self.queue: deque = deque()  # (lo, hi, src_partition, dst_partition)
+        self.active: Optional[_ActiveMove] = None
+        self.next_mig_id = 1
+        self._last_map_cast_ns = float("-inf")
+
+        self.joins = 0
+        self.leaves = 0
+        self.migrations_started = 0
+        self.migrations_done = 0
+        self.migrations_aborted = 0
+        self.maps_published = 0
+
+        metrics = getattr(sim, "metrics", None)
+        if metrics is not None:
+            metrics.gauge_fn("elastic.coord.map_version", lambda: self.map.version)
+            metrics.gauge_fn("elastic.coord.done", lambda: self.migrations_done)
+            metrics.gauge_fn("elastic.coord.aborted", lambda: self.migrations_aborted)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        for i in range(CTRL_RING):
+            offset = i * CTRL_SLOT
+            self.device.post_recv(
+                self.ud_qp,
+                RecvRequest(wr_id=offset, local=(self.recv_mr, offset, CTRL_SLOT)),
+            )
+        self.sim.process(self._recv_loop(), name="elastic-coord-recv")
+        self.sim.process(self._run(), name="elastic-coord-run")
+
+    def idle(self) -> bool:
+        """No move active and none queued (the rebalance converged)."""
+        return self.active is None and not self.queue
+
+    # -- membership ----------------------------------------------------
+
+    def schedule_join(self, partition: int, at_ns: float = 0.0) -> None:
+        """Grant ``partition`` an equal share of the map at ``at_ns``."""
+        self.sim.process(
+            self._membership_later(partition, at_ns, join=True),
+            name="elastic-join-p%d" % partition,
+        )
+
+    def schedule_leave(self, partition: int, at_ns: float = 0.0) -> None:
+        """Evacuate everything ``partition`` owns, starting at ``at_ns``."""
+        self.sim.process(
+            self._membership_later(partition, at_ns, join=False),
+            name="elastic-leave-p%d" % partition,
+        )
+
+    def _membership_later(self, partition, at_ns, join):
+        delay = at_ns - self.sim.now
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        try:
+            moves = (
+                self.map.plan_join(partition)
+                if join
+                else self.map.plan_leave(partition)
+            )
+        except ValueError:
+            return  # already joined / already left: idempotent
+        self.queue.extend(moves)
+        if join:
+            self.joins += 1
+        else:
+            self.leaves += 1
+
+    # -- supervision ---------------------------------------------------
+
+    def _run(self):
+        sim = self.sim
+        while True:
+            yield sim.timeout(self.heartbeat_ns)
+            if self.active is None:
+                if self.queue:
+                    yield from self._start_next()
+            else:
+                move = self.active
+                if not self._world_matches(move):
+                    yield from self._abort(move, requeue=True)
+                elif sim.now - move.last_progress_ns > self.stall_ns:
+                    yield from self._abort(move, requeue=True)
+                else:
+                    # idempotent re-send: control UD SENDs can drop
+                    yield from self._send_phase(move)
+            if sim.now - self._last_map_cast_ns >= MAP_RECAST_TICKS * self.heartbeat_ns:
+                yield from self._broadcast_map()
+
+    def _start_next(self):
+        lo, hi, src_partition, dst_partition = self.queue.popleft()
+        if self.map.owner_of_hash(lo) != src_partition:
+            return  # stale move (range already reassigned); drop it
+        src_st = self.monitor.state[src_partition]
+        dst_st = self.monitor.state[dst_partition]
+        if src_st.primary is None or dst_st.primary is None:
+            # mid-failover: try again next tick
+            self.queue.appendleft((lo, hi, src_partition, dst_partition))
+            return
+        mig_id = self.next_mig_id
+        self.next_mig_id += 1
+        self.active = _ActiveMove(
+            mig_id, lo, hi, src_partition, dst_partition,
+            src_st.primary, src_st.epoch, dst_st.primary, dst_st.epoch,
+            self.sim.now,
+        )
+        self.migrations_started += 1
+        yield from self._send_phase(self.active)
+
+    def _world_matches(self, move: _ActiveMove) -> bool:
+        """Both primaries (and their fencing epochs) are as recorded."""
+        src_st = self.monitor.state[move.src_partition]
+        dst_st = self.monitor.state[move.dst_partition]
+        return (
+            src_st.primary == move.src_replica
+            and src_st.epoch == move.src_epoch
+            and dst_st.primary == move.dst_replica
+            and dst_st.epoch == move.dst_epoch
+        )
+
+    def _send_phase(self, move: _ActiveMove):
+        if move.phase == "copy":
+            payload = wire.encode_mig_start(
+                move.mig_id, move.src_partition, move.dst_partition,
+                move.dst_replica, move.lo, move.hi,
+            )
+        else:
+            payload = wire.encode_mig_cutover(move.mig_id)
+        yield from self._send(move.src_replica, payload)
+
+    def _abort(self, move: _ActiveMove, requeue: bool):
+        self.migrations_aborted += 1
+        self.active = None
+        for replica in sorted({move.src_replica, move.dst_replica}):
+            yield from self._send(replica, wire.encode_mig_abort(move.mig_id))
+        if requeue:
+            self.queue.appendleft(
+                (move.lo, move.hi, move.src_partition, move.dst_partition)
+            )
+
+    # -- event path ----------------------------------------------------
+
+    def _recv_loop(self):
+        sim = self.sim
+        poll_ns = self.device.profile.cq_poll_ns
+        while True:
+            cqe = yield self.recv_cq.pop()
+            yield sim.timeout(poll_ns)
+            offset = cqe.wr_id
+            data = bytes(self.recv_mr.read(offset + 40, cqe.byte_len))
+            self.device.post_recv(
+                self.ud_qp,
+                RecvRequest(wr_id=offset, local=(self.recv_mr, offset, CTRL_SLOT)),
+            )
+            if not data or wire.ha_kind(data) != wire.CTRL_MIG_EVENT:
+                continue
+            mig_id, _partition, event = wire.decode_mig_event(data)
+            yield from self._on_event(mig_id, event)
+
+    def _on_event(self, mig_id: int, event: int):
+        move = self.active
+        if move is None or move.mig_id != mig_id:
+            return  # stale or duplicate event
+        if not self._world_matches(move):
+            yield from self._abort(move, requeue=True)
+            return
+        if event == wire.MIG_SYNCED and move.phase == "copy":
+            move.phase = "cutover"
+            move.last_progress_ns = self.sim.now
+            yield from self._send_phase(move)
+        elif event == wire.MIG_FLUSHED and move.phase == "cutover":
+            # fenced cutover: ownership moves only on a verified flush
+            self.map = self.map.assign(move.lo, move.hi, move.dst_partition)
+            self.migrations_done += 1
+            self.active = None
+            yield from self._broadcast_map()
+            for listener in self.map_listeners:
+                listener(self.map)
+
+    # -- map fan-out ---------------------------------------------------
+
+    def _broadcast_map(self):
+        self._last_map_cast_ns = self.sim.now
+        self.maps_published += 1
+        payload = wire.encode_shard_map(self.map.version, self.map.entries)
+        for replica in sorted(self.node_ahs):
+            yield from self._send(replica, payload)
+
+    def _send(self, replica: int, payload: bytes):
+        ah = self.node_ahs.get(replica)
+        if ah is None:
+            return
+        wr = WorkRequest.send(payload=payload, inline=True, signaled=False, ah=ah)
+        yield from self.device.post_send_timed(self.ud_qp, wr)

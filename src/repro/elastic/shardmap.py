@@ -1,0 +1,174 @@
+"""The epoch-versioned shard map: who owns which slice of hash space.
+
+The map is an explicit range table over the 64-bit keyhash prefix
+(the same 8 little-endian bytes the static ``partition_of`` hashes
+with).  It is stored as a sorted *boundary list* ``[(start, owner),
+...]``: entry *i* owns ``[start_i, start_{i+1})`` and the last entry
+runs to ``2**64``.  Boundaries rather than ``(lo, hi)`` pairs keep the
+encoding gap-free by construction and avoid the ``2**64`` end bound
+overflowing a u64 on the wire (see ``encode_shard_map``).
+
+Maps are immutable; every ownership change returns a **new** map with
+``version + 1``.  Versions are the fencing token of the elastic layer:
+replicas and clients adopt a map only if its version exceeds the one
+they hold, exactly like :class:`repro.ha.ReplicaMap` epochs — a delayed
+CTRL_SHARDMAP broadcast can therefore never roll routing back.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+HASH_SPACE = 1 << 64
+
+
+class ShardMap:
+    """An immutable, versioned range table mapping hashes to partitions."""
+
+    __slots__ = ("version", "entries", "_starts")
+
+    def __init__(self, version: int, entries: Sequence[Tuple[int, int]]):
+        if not entries:
+            raise ValueError("a shard map needs at least one range")
+        entries = tuple((int(start), int(owner)) for start, owner in entries)
+        if entries[0][0] != 0:
+            raise ValueError("the first range must start at hash 0")
+        starts = [start for start, _owner in entries]
+        if starts != sorted(set(starts)):
+            raise ValueError("range starts must be strictly increasing")
+        if starts[-1] >= HASH_SPACE:
+            raise ValueError("range starts must lie below 2**64")
+        if any(owner < 0 for _start, owner in entries):
+            raise ValueError("owners must be non-negative partition ids")
+        self.version = int(version)
+        self.entries = entries
+        self._starts = starts
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def striped(cls, n_active: int, version: int = 0) -> "ShardMap":
+        """Equal contiguous stripes over ``n_active`` partitions.
+
+        Keyhashes are uniform (ycsb's mix64), so equal stripes carry
+        equal load — the elastic analogue of the modulo mapping.
+        """
+        if n_active < 1:
+            raise ValueError("n_active must be >= 1; got %r" % (n_active,))
+        return cls(
+            version,
+            [(i * HASH_SPACE // n_active, i) for i in range(n_active)],
+        )
+
+    # -- lookups ------------------------------------------------------
+
+    def owner_of_hash(self, h: int) -> int:
+        """The partition owning 64-bit hash value ``h``."""
+        if not 0 <= h < HASH_SPACE:
+            raise ValueError("hash out of range: %r" % (h,))
+        return self.entries[bisect_right(self._starts, h) - 1][1]
+
+    def owner_of(self, keyhash: bytes) -> int:
+        """The partition owning ``keyhash`` (same prefix as partition_of)."""
+        return self.owner_of_hash(int.from_bytes(keyhash[:8], "little"))
+
+    def owners(self) -> Tuple[int, ...]:
+        """The distinct partitions that own at least one range, sorted."""
+        return tuple(sorted({owner for _start, owner in self.entries}))
+
+    def ranges(self) -> List[Tuple[int, int, int]]:
+        """``[(lo, hi, owner), ...]`` with explicit exclusive bounds."""
+        out = []
+        for i, (start, owner) in enumerate(self.entries):
+            hi = self._starts[i + 1] if i + 1 < len(self.entries) else HASH_SPACE
+            out.append((start, hi, owner))
+        return out
+
+    def share_of(self, owner: int) -> float:
+        """Fraction of the hash space ``owner`` holds."""
+        held = sum(hi - lo for lo, hi, who in self.ranges() if who == owner)
+        return held / HASH_SPACE
+
+    # -- mutation (returns a new map) ---------------------------------
+
+    def assign(self, lo: int, hi: int, owner: int) -> "ShardMap":
+        """A new map (version + 1) with ``[lo, hi)`` owned by ``owner``."""
+        if not 0 <= lo < hi <= HASH_SPACE:
+            raise ValueError("invalid range [%r, %r)" % (lo, hi))
+        boundaries = []
+        for r_lo, r_hi, r_owner in self.ranges():
+            if r_hi <= lo or r_lo >= hi:
+                boundaries.append((r_lo, r_owner))
+                continue
+            if r_lo < lo:
+                boundaries.append((r_lo, r_owner))
+            if r_hi > hi:
+                boundaries.append((hi, r_owner))
+        boundaries.append((lo, owner))
+        boundaries.sort()
+        # merge adjacent ranges with the same owner
+        merged: List[Tuple[int, int]] = []
+        for start, who in boundaries:
+            if merged and merged[-1][1] == who:
+                continue
+            merged.append((start, who))
+        return ShardMap(self.version + 1, merged)
+
+    # -- rebalance planning -------------------------------------------
+
+    def plan_join(self, newcomer: int) -> List[Tuple[int, int, int, int]]:
+        """Moves ``[(lo, hi, src, dst), ...]`` granting an equal share.
+
+        Each current owner donates the tail of its holdings so that all
+        ``k + 1`` partitions end with ``1 / (k + 1)`` of the hash space
+        (uniform hashes make share == load).  Applying the moves in
+        order — each as one live migration — converges the map; the
+        cluster stays fully available throughout because every move is
+        individually fenced.
+        """
+        current = self.owners()
+        if newcomer in current:
+            raise ValueError("partition %d already owns a range" % newcomer)
+        donate = HASH_SPACE // (len(current) + 1) // len(current)
+        moves = []
+        for owner in current:
+            remaining = donate
+            # donate from the tail of each of the owner's ranges
+            for lo, hi, who in reversed(self.ranges()):
+                if who != owner or remaining <= 0:
+                    continue
+                take = min(remaining, hi - lo)
+                moves.append((hi - take, hi, owner, newcomer))
+                remaining -= take
+        return moves
+
+    def plan_leave(self, leaver: int) -> List[Tuple[int, int, int, int]]:
+        """Moves evacuating every range ``leaver`` owns to the survivors."""
+        survivors = [o for o in self.owners() if o != leaver]
+        if not survivors:
+            raise ValueError("cannot evacuate the last owner")
+        moves = []
+        evacuating = [r for r in self.ranges() if r[2] == leaver]
+        for i, (lo, hi, _who) in enumerate(evacuating):
+            moves.append((lo, hi, leaver, survivors[i % len(survivors)]))
+        return moves
+
+    # -- misc ---------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ShardMap)
+            and self.version == other.version
+            and self.entries == other.entries
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.version, self.entries))
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            "[%#x, %s)->%d" % (lo, "end" if hi == HASH_SPACE else hex(hi), who)
+            for lo, hi, who in self.ranges()
+        )
+        return "ShardMap(v%d: %s)" % (self.version, body)

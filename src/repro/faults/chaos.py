@@ -35,11 +35,24 @@ from typing import Dict, List, Optional
 from repro.faults.plan import FaultPlan
 from repro.faults.rng import child_rng
 from repro.herd.cluster import HerdCluster
-from repro.herd.config import HerdConfig, partition_of
+from repro.herd.config import HerdConfig, partition_of, route_key
 from repro.workloads.ycsb import OpType, Workload, keyhash, value_for
 
-#: named fault scenarios for replicated (HA) chaos runs
-HA_SCENARIOS = ("kill-primary", "partition-primary")
+#: named fault scenarios for replicated (HA) chaos runs, with the
+#: one-line descriptions ``--chaos-scenario list`` prints
+SCENARIOS = {
+    "kill-primary": "crash one partition's primary for 30% of the horizon",
+    "partition-primary": "cut the primary machine's link, forcing a mass failover",
+    "migrate-under-kill": (
+        "join a spare partition and kill the migration source's primary "
+        "mid-resharding"
+    ),
+}
+HA_SCENARIOS = tuple(SCENARIOS)
+
+#: fraction of the horizon after which completions count as "tail"
+#: throughput (the resharded steady state, for elasticity tracking)
+TAIL_FRAC = 0.75
 
 
 class _TaggedStream:
@@ -98,6 +111,15 @@ class ChaosReport:
     promotions: int = 0
     stale_nacks: int = 0
     replays: int = 0
+    #: completions at/after TAIL_FRAC * horizon (steady-state throughput)
+    tail_completed: int = 0
+    # -- elastic (shard map) runs only
+    map_version: int = 0
+    migrations_done: int = 0
+    migrations_aborted: int = 0
+    records_migrated: int = 0
+    reroutes: int = 0
+    not_owner_nacks: int = 0
     #: RunReport when the run was observed (obs capture active); carries
     #: the outcome row so metrics exports include the chaos verdict
     obs: Optional[object] = None
@@ -162,6 +184,19 @@ class ChaosReport:
                     self.replays,
                 ),
             )
+            if self.map_version or self.migrations_done or self.migrations_aborted:
+                lines.insert(
+                    3,
+                    "  shard map v%d: %d migrations done, %d aborted, "
+                    "%d records moved, %d reroutes"
+                    % (
+                        self.map_version,
+                        self.migrations_done,
+                        self.migrations_aborted,
+                        self.records_migrated,
+                        self.reroutes,
+                    ),
+                )
         for violation in self.violations:
             lines.append("  VIOLATION: %s" % violation)
         return "\n".join(lines)
@@ -202,7 +237,12 @@ def run_chaos(
     write lost, no split-brain acks, monotonic backup high-water marks.
     Scenarios: ``kill-primary`` crashes one partition's primary for 30%
     of the horizon; ``partition-primary`` cuts the primary machine's
-    link, forcing a mass failover and fencing the isolated primaries.
+    link, forcing a mass failover and fencing the isolated primaries;
+    ``migrate-under-kill`` builds an *elastic* cluster with one spare
+    partition (owning no keys), joins it a quarter into the horizon so
+    the coordinator live-migrates ranges onto it, and crashes the first
+    migration source's primary mid-copy — the move must abort, fail
+    over, restart, and still lose nothing.
     """
     ha_mode = scenario is not None
     if ha_mode and scenario not in HA_SCENARIOS:
@@ -211,8 +251,25 @@ def run_chaos(
         )
     if ha_mode and value_size < 8:
         raise ValueError("HA chaos tags PUT values; value_size must be >= 8")
+    elastic_mode = scenario == "migrate-under-kill"
     if config is None:
-        if ha_mode:
+        if elastic_mode:
+            ns = n_server_processes or 3
+            if ns < 2:
+                raise ValueError("migrate-under-kill needs >= 2 partitions")
+            config = HerdConfig(
+                n_server_processes=ns,
+                n_active_partitions=ns - 1,  # one spare to join live
+                window=4,
+                retry_timeout_ns=10_000.0,
+                adaptive_retry=True,
+                min_retry_timeout_ns=5_000.0,
+                replication_factor=replication_factor,
+                ack_policy=ack_policy,
+                lease_us=lease_us,
+                heartbeat_us=heartbeat_us,
+            )
+        elif ha_mode:
             config = HerdConfig(
                 n_server_processes=n_server_processes or 4,
                 window=4,
@@ -236,6 +293,10 @@ def run_chaos(
         raise ValueError("chaos needs retries enabled (retry_timeout_ns)")
     if ha_mode and config.replication_factor < 2:
         raise ValueError("HA scenarios need a config with replication_factor > 1")
+    if elastic_mode and config.n_active_partitions is None:
+        raise ValueError(
+            "migrate-under-kill needs an elastic config (n_active_partitions)"
+        )
     cluster = HerdCluster(config=config, n_client_machines=4, seed=seed)
     workload = Workload(
         get_fraction=get_fraction, value_size=value_size, n_keys=n_items
@@ -263,9 +324,16 @@ def run_chaos(
                 plan.crash_server(
                     victim, at_ns=0.35 * horizon_ns, down_ns=0.3 * horizon_ns
                 )
-            else:  # partition-primary
+            elif scenario == "partition-primary":
                 plan.flap_link(
                     "server", at_ns=0.35 * horizon_ns, down_ns=0.25 * horizon_ns
+                )
+            else:  # migrate-under-kill: the join lands at 0.25h (below),
+                # so a crash of partition 0's primary shortly after hits
+                # the first migration mid-copy — plan_join drains
+                # partition 0 first, and the move must abort and restart
+                plan.crash_server(
+                    0, at_ns=0.27 * horizon_ns, down_ns=0.3 * horizon_ns
                 )
         else:
             plan = FaultPlan.randomized(
@@ -285,9 +353,13 @@ def run_chaos(
     records: List[str] = []
     violations: List[str] = []
     last_now = [0.0]
+    tail_completed = [0]
+    tail_from_ns = TAIL_FRAC * horizon_ns
 
     def make_hook(client_id: int):
         def hook(op, success, value, now):
+            if now >= tail_from_ns:
+                tail_completed[0] += 1
             if now < last_now[0]:
                 violations.append(
                     "completion clock ran backwards (%.3f after %.3f)"
@@ -348,7 +420,8 @@ def run_chaos(
                         ha_op.ok = bool(success)
                         if ha_op.kind == "r":
                             ha_op.value = value
-                # "stale" nacks leave the op open: it was never executed
+                # "stale" nacks leave the op open: it was never executed;
+                # so do "reroute" nacks (NOT_OWNER at the old shard owner)
 
             return hook
 
@@ -368,6 +441,17 @@ def run_chaos(
         for node in cluster.ha.nodes:
             node.start()
         cluster.ha.monitor.start()
+    if cluster.elastic is not None:
+        cluster.elastic.coordinator.start()
+        if elastic_mode:
+            # membership: the spare partitions join a quarter in, while
+            # traffic (and, at 0.4h, the pinned crash) is live
+            for spare in range(
+                config.n_active_partitions, config.n_server_processes
+            ):
+                cluster.elastic.coordinator.schedule_join(
+                    spare, at_ns=0.25 * horizon_ns
+                )
     sim.call_in(horizon_ns, injector.deactivate)
 
     sim.run(until=horizon_ns)
@@ -378,8 +462,15 @@ def run_chaos(
             for client in cluster.clients
         )
 
+    def settled() -> bool:
+        # elastic runs also let the reshard queue converge before the
+        # audit, so the final map reflects the completed membership change
+        return drained() and (
+            cluster.elastic is None or cluster.elastic.coordinator.idle()
+        )
+
     deadline = horizon_ns + drain_ns
-    while sim.now < deadline and not drained():
+    while sim.now < deadline and not settled():
         sim.run(until=min(sim.now + 100_000.0, deadline))
 
     # -- invariants --------------------------------------------------------
@@ -428,6 +519,8 @@ def run_chaos(
     availability = 1.0
     failover_latency_ns = 0.0
     promotions = stale_nacks = replays = 0
+    elastic_counters: Dict[str, int] = {}
+    reroutes = not_owner_nacks = 0
     if not ha_mode:
         for item in range(n_items):
             kh = keyhash(item)
@@ -445,12 +538,14 @@ def run_chaos(
         monitor = ha.monitor
         ns = config.n_server_processes
         # Final state is read from each partition's *current* primary —
-        # the replica a client would reach after the run.
+        # the replica a client would reach after the run — routed through
+        # the final shard map when the cluster is elastic.
+        final_map = cluster.elastic.shard_map if cluster.elastic is not None else None
         initial: Dict[bytes, Optional[bytes]] = {}
         final: Dict[bytes, Optional[bytes]] = {}
         for item in range(n_items):
             kh = keyhash(item)
-            p = partition_of(kh, ns)
+            p = route_key(kh, ns, final_map)
             primary = monitor.state[p].primary
             store = ha.replica_servers[primary if primary is not None else 0][p].store
             initial[kh] = value_for(item, value_size)
@@ -486,6 +581,10 @@ def run_chaos(
         promotions = monitor.promotions
         stale_nacks = sum(c.stale_nacks for c in cluster.clients)
         replays = sum(c.replays for c in cluster.clients)
+        if cluster.elastic is not None:
+            elastic_counters = cluster.elastic.counters()
+            reroutes = sum(c.reroutes for c in cluster.clients)
+            not_owner_nacks = sum(c.not_owner_nacks for c in cluster.clients)
     expected_crashes = sum(1 for c in plan.crashes if c.at_ns < horizon_ns)
     total_crashes = sum(s.crashes for s in cluster.servers)
     total_recoveries = sum(s.recoveries for s in cluster.servers)
@@ -565,6 +664,35 @@ def run_chaos(
                     )
                 ).encode()
             )
+        if cluster.elastic is not None:
+            # elastic runs additionally pin the resharding outcome: the
+            # final map, every migration, and each client's re-routing
+            digest.update(
+                (
+                    "shardmap v=%d done=%d aborted=%d sent=%d applied=%d "
+                    "adopted=%d\n"
+                    % (
+                        elastic_counters["map_version"],
+                        elastic_counters["migrations_done"],
+                        elastic_counters["migrations_aborted"],
+                        elastic_counters["records_sent"],
+                        elastic_counters["records_applied"],
+                        elastic_counters["maps_adopted"],
+                    )
+                ).encode()
+            )
+            for client in cluster.clients:
+                digest.update(
+                    (
+                        "c%d reroutes=%d notowner=%d maps=%d\n"
+                        % (
+                            client.client_id,
+                            client.reroutes,
+                            client.not_owner_nacks,
+                            client.map_refreshes,
+                        )
+                    ).encode()
+                )
 
     report = ChaosReport(
         seed=seed,
@@ -594,6 +722,13 @@ def run_chaos(
         promotions=promotions,
         stale_nacks=stale_nacks,
         replays=replays,
+        tail_completed=tail_completed[0],
+        map_version=elastic_counters.get("map_version", 0),
+        migrations_done=elastic_counters.get("migrations_done", 0),
+        migrations_aborted=elastic_counters.get("migrations_aborted", 0),
+        records_migrated=elastic_counters.get("records_applied", 0),
+        reroutes=reroutes,
+        not_owner_nacks=not_owner_nacks,
     )
     from repro.obs.report import RunReport  # deferred: optional layer
 

@@ -59,8 +59,9 @@ MESH_SLOT = 21 + wire.KEYHASH_BYTES + 1024
 #: RECV ring depth per peer QP — covers every client window in flight
 #: plus a full catch-up burst
 MESH_RING = 256
-#: UD control slot (GRH + grant/config)
-CTRL_SLOT = 40 + 32
+#: UD control slot (GRH + grant/config/shard-map broadcast; a shard
+#: map mid-rebalance can carry a couple of dozen range entries)
+CTRL_SLOT = 40 + 256
 CTRL_RING = 128
 #: log entries replayed per CATCHUP request; the requester re-asks
 #: (from its advanced hwm) until it is caught up
@@ -72,7 +73,10 @@ NODE_STAGING_BYTES = 1 << 16
 class InflightUpdate:
     """A sequenced PUT the primary has shipped but not yet committed."""
 
-    __slots__ = ("seq", "keyhash", "value", "ackers", "respond", "created_ns", "shipped_ns")
+    __slots__ = (
+        "seq", "keyhash", "value", "ackers", "respond", "on_commit",
+        "created_ns", "shipped_ns",
+    )
 
     def __init__(self, seq, keyhash, value, respond, now):
         self.seq = seq
@@ -80,8 +84,12 @@ class InflightUpdate:
         self.value = value
         #: backup replica ids whose applied hwm covers this seq
         self.ackers: Set[int] = set()
-        #: (client, window_slot, req_epoch, op) to ack at commit
+        #: (client, window_slot, req_epoch, op) to ack at commit, or
+        #: None for a migrated-in record (repro.elastic) that acks the
+        #: migration source instead of a client
         self.respond = respond
+        #: commit callback for respond-less (migration) records
+        self.on_commit = None
         self.created_ns = now
         self.shipped_ns = now
 
@@ -229,6 +237,46 @@ class ReplicaRole:
         # group majority is reachable again
         self.check_commits()
 
+    def stage_migration(self, keyhash, value, on_commit=None):
+        """Stage a migrated-in record exactly like a client PUT.
+
+        Generator.  The record rides the ordinary sequenced-update
+        replication — same log, same backup acks, same commit rule —
+        under the ``wire.MIG_CLIENT`` sentinel token, so backups
+        replicate it durably but nobody mistakes it for an at-most-once
+        client request.  ``on_commit(seq)`` fires when the commit rule
+        is satisfied; the migration sink acks the source from there.
+        """
+        node = self.node
+        sim = node.sim
+        seq = self.next_seq + 1
+        self.next_seq = seq
+        self.log.append((seq, keyhash, value, wire.MIG_CLIENT, 0, 0))
+        self.uncommitted[keyhash] = seq
+        inf = InflightUpdate(seq, keyhash, value, None, sim.now)
+        inf.on_commit = on_commit
+        self.inflight[seq] = inf
+        payload = wire.encode_update(
+            self.partition, self.replica_id, self.epoch, seq, keyhash,
+            value, wire.MIG_CLIENT, 0, 0,
+        )
+        for peer in sorted(self.live_peers()):
+            yield from node.send_mesh(peer, payload)
+        node.updates_shipped += 1
+        self.check_commits()
+
+    def elastic_verdict(self, keyhash) -> str:
+        """"serve", "hold" (range frozen for cutover), or "not_owner".
+
+        The elastic layer's routing verdict, consulted by the server
+        after the lease verdict.  Without an elastic agent every key is
+        served — classic static sharding.
+        """
+        node = self.node
+        if node is None or node.elastic is None:
+            return "serve"
+        return node.elastic.request_verdict(self.partition, keyhash)
+
     # -- replication message handlers (called from the node) -----------
 
     def on_update(self, sender, epoch, seq, keyhash, value, client=0,
@@ -271,7 +319,9 @@ class ReplicaRole:
             return
         self.server.store.put(keyhash, value)
         self.log.append((seq, keyhash, value, client, window_slot, req_epoch))
-        self.completed[(client, window_slot)] = req_epoch
+        if client != wire.MIG_CLIENT:
+            # migration records carry no client request to dedup
+            self.completed[(client, window_slot)] = req_epoch
         self.applied_seq = seq
         self.updates_applied += 1
 
@@ -330,15 +380,24 @@ class ReplicaRole:
             self.commits += 1
             if node is not None and node._lag_hist is not None:
                 node._lag_hist.observe(node.sim.now - inf.created_ns)
-            client, window_slot, req_epoch, op = inf.respond
-            self.pending_client.pop((client, window_slot, req_epoch), None)
-            self.completed[(client, window_slot)] = req_epoch
-            node.sim.process(
-                server.ha_respond(
-                    client, window_slot, op, req_epoch, wire.RESP_OK,
-                    server.epoch, extra_ns=store_ns, ack_epoch=self.epoch,
+            if node is not None and node.elastic is not None:
+                # dual-write: forward the committed record onto any
+                # live outgoing migration covering its key
+                node.elastic.on_commit(self.partition, inf.keyhash, inf.value)
+            if inf.respond is None:
+                # migrated-in record: ack the migration source, not a client
+                if inf.on_commit is not None:
+                    inf.on_commit(seq)
+            else:
+                client, window_slot, req_epoch, op = inf.respond
+                self.pending_client.pop((client, window_slot, req_epoch), None)
+                self.completed[(client, window_slot)] = req_epoch
+                node.sim.process(
+                    server.ha_respond(
+                        client, window_slot, op, req_epoch, wire.RESP_OK,
+                        server.epoch, extra_ns=store_ns, ack_epoch=self.epoch,
+                    )
                 )
-            )
             if self.uncommitted.get(inf.keyhash) == seq:
                 del self.uncommitted[inf.keyhash]
                 for waiter in self.read_waiters.pop(inf.keyhash, []):
@@ -425,8 +484,13 @@ class ReplicaRole:
         self.log = [entry for entry in self.log if entry[0] <= self.committed_seq]
         self.next_seq = self.committed_seq
         self.applied_seq = self.committed_seq
+        if node is not None and node.elastic is not None:
+            # a fenced primary must stop streaming migration records
+            node.elastic.abort_partition(self.partition)
         for seq in sorted(self.inflight):
             inf = self.inflight[seq]
+            if inf.respond is None:
+                continue  # migration record: its source re-sends or aborts
             client, window_slot, req_epoch, op = inf.respond
             self.stale_nacks_sent += 1
             node.sim.process(
@@ -463,6 +527,8 @@ class ReplicaRole:
         self.next_seq = self.committed_seq
         if self.is_primary:
             self.applied_seq = self.committed_seq
+        if self.node is not None and self.node.elastic is not None:
+            self.node.elastic.abort_partition(self.partition)
         self.inflight.clear()
         self.pending_client.clear()
         self.uncommitted.clear()
@@ -534,6 +600,9 @@ class HaNode:
         self.ctrl_qp = device.create_qp(Transport.UD, recv_cq=self.ctrl_cq)
         self.ctrl_mr = device.register_memory(CTRL_RING * CTRL_SLOT)
         self.monitor_ah: Optional[Tuple[str, int]] = None  # wired by the cluster
+        #: the machine's ElasticAgent (repro.elastic), or None for a
+        #: static deployment; mesh/ctrl traffic it owns is delegated
+        self.elastic = None
 
         #: throttle: partition -> last CATCHUP request time
         self._catchup_sent_at: Dict[int, float] = {}
@@ -625,6 +694,10 @@ class HaNode:
                 self.roles[partition].on_ack(sender, epoch, seq, status, hwm)
             elif kind == wire.REP_CATCHUP:
                 yield from self._on_catchup(data)
+            elif kind in (wire.MIG_RECORD, wire.MIG_ACK) and self.elastic is not None:
+                peer = self._qp_peer.get(cqe.qpn)
+                if peer is not None:
+                    yield from self.elastic.on_mesh(kind, data, peer)
 
     def _on_update(self, data):
         (
@@ -696,6 +769,9 @@ class HaNode:
                 action = role.on_config(primary, epoch, members)
                 if action == "promote" and role.syncing:
                     yield from self._send_sync_catchups(role)
+            elif self.elastic is not None:
+                # migration control (MIG_START/CUTOVER/ABORT, SHARDMAP)
+                yield from self.elastic.on_ctrl(kind, data)
 
     def _send_sync_catchups(self, role):
         for peer in sorted(role.syncing or ()):
@@ -749,7 +825,10 @@ class HaNode:
         if self.sim.now - inf.shipped_ns < 2 * self.heartbeat_ns:
             return
         inf.shipped_ns = self.sim.now
-        client, window_slot, req_epoch, _op = inf.respond
+        if inf.respond is None:
+            client, window_slot, req_epoch = wire.MIG_CLIENT, 0, 0
+        else:
+            client, window_slot, req_epoch, _op = inf.respond
         payload = wire.encode_update(
             role.partition, self.replica_id, role.epoch, seq, inf.keyhash,
             inf.value, client, window_slot, req_epoch,

@@ -58,9 +58,10 @@ from repro.verbs import (
     WorkRequest,
 )
 from repro.workloads.ycsb import Operation, OpType, WorkloadStream
-from repro.herd.config import HerdConfig, partition_of
+from repro.herd.config import HerdConfig, route_key
 from repro.herd.region import RequestRegion
 from repro.herd.wire import (
+    RESP_NOT_OWNER,
     RESP_OK,
     RESP_STALE_EPOCH,
     decode_response,
@@ -147,6 +148,9 @@ class HerdClientProcess:
         self.ha_map = None  # ReplicaMap, set by the cluster when rf > 1
         self.ha_regions: List[RequestRegion] = []
         self.ha_uc_qps: List[QueuePair] = []
+        #: elastic routing (repro.elastic): the client's copy of the
+        #: shard map, or None for the classic static modulo mapping
+        self.shard_map = None
         #: history observer for the linearizability checker, called as
         #: fn(kind, op, server, window_slot, epoch, success, value, now)
         #: with kind in {"invoke", "response", "stale"}
@@ -209,6 +213,9 @@ class HerdClientProcess:
         self.stale_nacks = 0
         self.replays = 0
         self.failovers = 0
+        self.not_owner_nacks = 0
+        self.reroutes = 0
+        self.map_refreshes = 0
         if metrics is not None:
             prefix = "herd.client%d." % client_id
             metrics.gauge_fn(prefix + "retries", lambda: self.retries)
@@ -221,6 +228,7 @@ class HerdClientProcess:
                 metrics.gauge_fn(prefix + "stale_nacks", lambda: self.stale_nacks)
                 metrics.gauge_fn(prefix + "replays", lambda: self.replays)
                 metrics.gauge_fn(prefix + "failovers", lambda: self.failovers)
+                metrics.gauge_fn(prefix + "reroutes", lambda: self.reroutes)
 
     # ------------------------------------------------------------------
 
@@ -260,7 +268,7 @@ class HerdClientProcess:
                 # next completion re-enters this path.
                 return
             op = self.stream.next_op()
-            server = partition_of(op.key, self.config.n_server_processes)
+            server = route_key(op.key, self._ns, self.shard_map)
             if self._slot_free[server]:
                 yield from self._send_op(op, server)
                 return
@@ -592,6 +600,9 @@ class HerdClientProcess:
             if status == RESP_STALE_EPOCH:
                 self._on_stale_nack(record, lane, offset)
                 return
+            if status == RESP_NOT_OWNER:
+                self._on_not_owner(record, lane, offset)
+                return
         self.outstanding -= 1
         self.completed += 1
         self._slot_free[server].add(record.window_slot)
@@ -649,3 +660,54 @@ class HerdClientProcess:
             )
             self._recv_order[lane].append(offset)
             record.recv_offset = offset
+
+    # -- elastic resharding (repro.elastic) ----------------------------
+
+    def elastic_on_map(self, shard_map) -> None:
+        """Coordinator notification: adopt a newer shard map.
+
+        Version-fenced like :meth:`ha_on_config` epochs — a delayed
+        publication can never roll routing back.  In-flight and parked
+        ops are *not* proactively re-aimed: a mis-routed one earns a
+        ``RESP_NOT_OWNER`` nack and reroutes through
+        :meth:`_on_not_owner`.
+        """
+        if self.shard_map is None or shard_map.version > self.shard_map.version:
+            self.shard_map = shard_map
+            self.map_refreshes += 1
+
+    def _on_not_owner(self, record: _Pending, lane: int, offset: int) -> None:
+        """The partition no longer owns the key's range: re-route.
+
+        The op was never executed there (the nack is the whole answer),
+        so it is withdrawn from this partition — slot freed, accounting
+        reversed — and parked at the owner the current map names, to be
+        re-issued as a fresh request.  If our map still names the
+        nacking partition (its publication is in flight to us), the op
+        stays pending here with a re-armed RECV; the retry path tries
+        again and reroutes once the map lands.
+        """
+        self.not_owner_nacks += 1
+        now = self.sim.now
+        server = record.server
+        owner = route_key(record.op.key, self._ns, self.shard_map)
+        if self.ha_event_hook is not None:
+            self.ha_event_hook(
+                "reroute", record.op, server, record.window_slot,
+                record.epoch, None, None, now,
+            )
+        if owner != server:
+            self._slot_free[server].add(record.window_slot)
+            self.outstanding -= 1
+            self.issued -= 1
+            self.reroutes += 1
+            self._parked[owner].appendleft(record.op)
+            return
+        record.deadline = now + (self._rto() or 0.0)
+        self._pending[server].append(record)
+        self.device.post_recv(
+            self.ud_qps[lane],
+            RecvRequest(wr_id=0, local=(self.recv_mr, offset, self._recv_slot)),
+        )
+        self._recv_order[lane].append(offset)
+        record.recv_offset = offset

@@ -18,7 +18,7 @@ from repro.sim import LatencyRecorder, RateMeter, Simulator
 from repro.verbs import RdmaDevice, Transport
 from repro.workloads.ycsb import Workload, value_for
 from repro.herd.client import HerdClientProcess
-from repro.herd.config import HerdConfig, partition_of
+from repro.herd.config import HerdConfig, route_key
 from repro.herd.region import RequestRegion
 from repro.herd.server import HerdServerProcess
 
@@ -76,6 +76,9 @@ class HerdCluster:
         self.servers: List[HerdServerProcess] = []
         self.region: Optional[RequestRegion] = None
         self.injector = None  # set by install_faults()
+        #: ElasticRuntime (repro.elastic) when n_active_partitions is
+        #: set; None keeps the classic static sharding
+        self.elastic = None
         self._wired = False
         # Replica machines (rep1..rep{rf-1}) and the lease monitor get
         # their own NICs on the same fabric; their cache RNGs are named
@@ -252,6 +255,38 @@ class HerdCluster:
         for client in self.clients:
             ha.monitor.config_listeners.append(client.ha_on_config)
         self.ha = ha
+        if cfg.n_active_partitions is not None:
+            self._wire_elastic(ha)
+
+    def _wire_elastic(self, ha: HaRuntime) -> None:
+        """The shard-map coordinator and one ElasticAgent per machine.
+
+        The coordinator runs beside the lease monitor (same machine,
+        same NIC) so it can read the monitor's live primary/epoch view
+        synchronously; agents hang off their machine's HaNode and share
+        its RC mesh and UD control QP.  Clients start on the initial
+        striped map and hear newer ones via ``map_listeners`` — the
+        elastic sibling of the monitor's config fan-out.
+        """
+        from repro.elastic import ElasticAgent, ElasticRuntime, ShardCoordinator, ShardMap
+
+        cfg = self.config
+        rf = cfg.replication_factor
+        initial = ShardMap.striped(cfg.n_active_partitions)
+        coordinator = ShardCoordinator(
+            self.sim, self._monitor_device, cfg, ha.monitor, initial
+        )
+        agents = []
+        for r in range(rf):
+            agent = ElasticAgent(ha.nodes[r], initial)
+            agent.coordinator_ah = ("monitor", coordinator.ud_qp.qpn)
+            ha.nodes[r].elastic = agent
+            agents.append(agent)
+            coordinator.node_ahs[r] = ha.monitor.replica_ahs[r]
+        for client in self.clients:
+            client.shard_map = initial
+            coordinator.map_listeners.append(client.elastic_on_map)
+        self.elastic = ElasticRuntime(coordinator, agents)
 
     def install_faults(self, plan) -> "object":
         """Install a :class:`repro.faults.FaultPlan` onto this cluster.
@@ -277,6 +312,7 @@ class HerdCluster:
         if not self._wired:
             self.wire()
         ns = self.config.n_server_processes
+        shard_map = self.elastic.shard_map if self.elastic is not None else None
         replica_servers = (
             self.ha.replica_servers if self.ha is not None else [self.servers]
         )
@@ -284,7 +320,7 @@ class HerdCluster:
             kh = keyhash(item)
             value = value_for(item, value_size)
             for servers in replica_servers:
-                servers[partition_of(kh, ns)].store.put(kh, value)
+                servers[route_key(kh, ns, shard_map)].store.put(kh, value)
 
     # ------------------------------------------------------------------
 
@@ -321,6 +357,8 @@ class HerdCluster:
             for node in self.ha.nodes:
                 node.start()
             self.ha.monitor.start()
+            if self.elastic is not None:
+                self.elastic.coordinator.start()
 
         self.sim.run(until=window_end)
         machine = self.server_device.machine

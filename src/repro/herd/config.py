@@ -74,6 +74,12 @@ class HerdConfig:
     #: several heartbeats per lease, or one dropped UD SEND would
     #: trigger a spurious failover)
     heartbeat_us: float = 2.0
+    #: elastic mode: how many of the ``n_server_processes`` partitions
+    #: initially own key ranges (the rest are spares that join later
+    #: via :mod:`repro.elastic`).  None keeps the classic static modulo
+    #: mapping; an integer switches routing to an epoch-versioned shard
+    #: map distributed over the CONFIG channel (see docs/ELASTICITY.md)
+    n_active_partitions: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_server_processes < 1:
@@ -159,6 +165,19 @@ class HerdConfig:
                 "dropped heartbeat triggers a spurious failover; got "
                 "lease_us=%r heartbeat_us=%r" % (self.lease_us, self.heartbeat_us)
             )
+        if self.n_active_partitions is not None:
+            if not 1 <= self.n_active_partitions <= self.n_server_processes:
+                raise ValueError(
+                    "n_active_partitions must be within [1, "
+                    "n_server_processes]; got %r with %d server processes"
+                    % (self.n_active_partitions, self.n_server_processes)
+                )
+            if self.replication_factor < 2:
+                raise ValueError(
+                    "elastic mode (n_active_partitions) requires "
+                    "replication_factor >= 2: live migration streams "
+                    "records over the repro.ha replication mesh"
+                )
 
     def region_bytes(self, n_clients: int) -> int:
         """Size of the request region for ``n_clients`` client processes."""
@@ -172,4 +191,22 @@ def partition_of(keyhash: bytes, n_partitions: int) -> int:
     first 8 bytes spreads keys evenly — this is HERD's analogue of
     MICA's Flow Director steering (Section 4.1).
     """
+    if n_partitions < 1:
+        raise ValueError(
+            "n_partitions must be >= 1; got %r" % (n_partitions,)
+        )
     return int.from_bytes(keyhash[:8], "little") % n_partitions
+
+
+def route_key(keyhash: bytes, n_partitions: int, shard_map=None) -> int:
+    """The single keyhash->partition routing helper.
+
+    Every router — client issue path, cluster warm-load, chaos
+    final-state audit — goes through here, so static and elastic
+    deployments cannot disagree about ownership.  With ``shard_map``
+    (a :class:`repro.elastic.ShardMap`) the map's range table decides;
+    without one this is the classic static modulo mapping.
+    """
+    if shard_map is not None:
+        return shard_map.owner_of(keyhash)
+    return partition_of(keyhash, n_partitions)

@@ -27,7 +27,12 @@ from repro.workloads.ycsb import Operation, OpType
 from repro.herd.config import HerdConfig
 from repro.herd.pipeline import RequestPipeline
 from repro.herd.region import RequestRegion
-from repro.herd.wire import RESP_OK, RESP_STALE_EPOCH, encode_response
+from repro.herd.wire import (
+    RESP_NOT_OWNER,
+    RESP_OK,
+    RESP_STALE_EPOCH,
+    encode_response,
+)
 
 #: a request travelling through the pipeline:
 #: (client, window slot, op, request epoch)
@@ -329,6 +334,40 @@ class HerdServerProcess:
                 client, window_slot, op, req_epoch, RESP_STALE_EPOCH, epoch
             )
             return
+        if op.op is not OpType.GET:
+            # PUT dedup runs *before* the ownership verdict: a retry of
+            # a PUT this group already applied must be re-acked here —
+            # even if the range has since migrated away — because the
+            # ack answers the original committed execution.  Nacking it
+            # NOT_OWNER would re-execute the write at the new owner: a
+            # second linearization point for a write other clients may
+            # already have observed interleaved with newer values.
+            if (client, window_slot, req_epoch) in role.pending_client:
+                return  # a retry of a PUT already replicating; ack at commit
+            if role.completed.get((client, window_slot)) == req_epoch:
+                yield from self.ha_respond(
+                    client, window_slot, op, req_epoch, RESP_OK, epoch,
+                    ack_epoch=role.epoch,
+                )
+                return
+        everdict = role.elastic_verdict(op.key)
+        while everdict == "hold":
+            # the key's range is frozen for a migration cutover: hold
+            # until the map moves (-> not_owner) or the move aborts
+            yield sim.timeout(role.hold_retry_ns)
+            if self.epoch != epoch:
+                return
+            if role.serving_verdict(sim.now) == "stale":
+                yield from self.ha_respond(
+                    client, window_slot, op, req_epoch, RESP_STALE_EPOCH, epoch
+                )
+                return
+            everdict = role.elastic_verdict(op.key)
+        if everdict == "not_owner":
+            yield from self.ha_respond(
+                client, window_slot, op, req_epoch, RESP_NOT_OWNER, epoch
+            )
+            return
         if op.op is OpType.GET:
             if op.key in role.uncommitted:
                 # an uncommitted PUT to this key is in flight: serving
@@ -346,20 +385,6 @@ class HerdServerProcess:
                 return
             yield from self.ha_respond(
                 client, window_slot, op, req_epoch, RESP_OK, epoch, value=value
-            )
-            return
-        if (client, window_slot, req_epoch) in role.pending_client:
-            return  # a retry of a PUT already replicating; ack at commit
-        if role.completed.get((client, window_slot)) == req_epoch:
-            # a retry of a PUT this group already applied (its ack was
-            # lost, or the client replayed it across a failover):
-            # re-ack without re-staging.  Re-executing would assign a
-            # second sequence number and clobber any later write to the
-            # same key — the classic lost-update a retried-but-committed
-            # request can cause.
-            yield from self.ha_respond(
-                client, window_slot, op, req_epoch, RESP_OK, epoch,
-                ack_epoch=role.epoch,
             )
             return
         self.puts += 1

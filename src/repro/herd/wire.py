@@ -132,14 +132,25 @@ RESP_OK = 0
 #: the replica is no longer the partition's primary (its fencing epoch
 #: is stale); the client must re-resolve the primary and replay
 RESP_STALE_EPOCH = 2
+#: the partition no longer owns this key's range (the shard map moved
+#: under an elastic resharding); the client must re-fetch the map and
+#: re-route the operation — the elastic sibling of RESP_STALE_EPOCH
+RESP_NOT_OWNER = 3
 
 #: replication / control message kinds (first byte of every message)
-REP_UPDATE = 1      # primary -> backup: one sequenced PUT record
-REP_ACK = 2         # backup -> primary: record applied (or stale nack)
-REP_CATCHUP = 3     # backup -> primary: replay your log above my hwm
-CTRL_HEARTBEAT = 4  # replica -> monitor, over UD
-CTRL_GRANT = 5      # monitor -> primary: lease extension
-CTRL_CONFIG = 6     # monitor -> replicas: epoch/primary/membership
+REP_UPDATE = 1         # primary -> backup: one sequenced PUT record
+REP_ACK = 2            # backup -> primary: record applied (or stale nack)
+REP_CATCHUP = 3        # backup -> primary: replay your log above my hwm
+CTRL_HEARTBEAT = 4     # replica -> monitor, over UD
+CTRL_GRANT = 5         # monitor -> primary: lease extension
+CTRL_CONFIG = 6        # monitor -> replicas: epoch/primary/membership
+CTRL_MIG_START = 7     # coordinator -> source primary: begin a migration
+CTRL_MIG_CUTOVER = 8   # coordinator -> source primary: freeze and flush
+CTRL_MIG_ABORT = 9     # coordinator -> either side: drop the migration
+CTRL_MIG_EVENT = 10    # source primary -> coordinator: synced / flushed
+CTRL_SHARDMAP = 11     # coordinator -> everyone: new shard-map version
+MIG_RECORD = 12        # source -> destination, over the RC mesh
+MIG_ACK = 13           # destination -> source: record committed
 
 #: REP_ACK statuses
 ACK_APPLIED = 0
@@ -256,3 +267,131 @@ def decode_config(data: bytes):
     _, partition, primary, epoch, n = _CONFIG_HDR.unpack_from(data)
     members = tuple(data[_CONFIG_HDR.size:_CONFIG_HDR.size + n])
     return partition, primary, epoch, members
+
+
+# ---------------------------------------------------------------------------
+# Elastic resharding (repro.elastic)
+# ---------------------------------------------------------------------------
+#
+# Ranges cover the 64-bit hash space as [lo, hi); the exclusive bound
+# of the last range is 2**64, which does not fit in a u64, so on the
+# wire hi == 0 means "the end of the hash space" (lo < hi always holds
+# for a real range, so 0 is free to repurpose).
+
+#: CTRL_MIG_EVENT codes, source primary -> coordinator
+MIG_SYNCED = 0    # snapshot shipped and every shipped record acked
+MIG_FLUSHED = 1   # frozen: no in-range write remains uncommitted/unacked
+
+#: sentinel "client id" carried by migrated-in records through the
+#: replication stream — real clients are always numbered below this,
+#: so replicas can tell a migration record from a client request (and
+#: skip the at-most-once completed-table bookkeeping for it)
+MIG_CLIENT = 0xFFFF
+
+# kind, mig_id, src_partition, dst_partition, dst_replica, lo, hi
+_MIG_START_MSG = struct.Struct("<BIBBBQQ")
+_MIG_EVENT_MSG = struct.Struct("<BIBB")   # kind, mig_id, partition, event
+_MIG_CTL_MSG = struct.Struct("<BI")       # kind (cutover/abort), mig_id
+# kind, mig_id, mseq, dst_partition, vlen — then keyhash + value
+_MIG_RECORD_HDR = struct.Struct("<BIQBH")
+_MIG_ACK_MSG = struct.Struct("<BIQ")      # kind, mig_id, mseq
+_SHARDMAP_HDR = struct.Struct("<BIB")     # kind, version, n_entries
+_SHARDMAP_ENTRY = struct.Struct("<QB")    # range start, owner partition
+
+_U64_END = 1 << 64
+
+
+def _wire_hi(hi: int) -> int:
+    return 0 if hi >= _U64_END else hi
+
+
+def _unwire_hi(hi: int) -> int:
+    return _U64_END if hi == 0 else hi
+
+
+def encode_mig_start(
+    mig_id: int, src_partition: int, dst_partition: int,
+    dst_replica: int, lo: int, hi: int,
+) -> bytes:
+    return _MIG_START_MSG.pack(
+        CTRL_MIG_START, mig_id, src_partition, dst_partition,
+        dst_replica, lo, _wire_hi(hi),
+    )
+
+
+def decode_mig_start(data: bytes):
+    """(mig_id, src_partition, dst_partition, dst_replica, lo, hi)."""
+    _, mig_id, src, dst, dst_replica, lo, hi = _MIG_START_MSG.unpack(data)
+    return mig_id, src, dst, dst_replica, lo, _unwire_hi(hi)
+
+
+def encode_mig_event(mig_id: int, partition: int, event: int) -> bytes:
+    return _MIG_EVENT_MSG.pack(CTRL_MIG_EVENT, mig_id, partition, event)
+
+
+def decode_mig_event(data: bytes):
+    """(mig_id, partition, event)."""
+    return _MIG_EVENT_MSG.unpack(data)[1:]
+
+
+def encode_mig_cutover(mig_id: int) -> bytes:
+    return _MIG_CTL_MSG.pack(CTRL_MIG_CUTOVER, mig_id)
+
+
+def encode_mig_abort(mig_id: int) -> bytes:
+    return _MIG_CTL_MSG.pack(CTRL_MIG_ABORT, mig_id)
+
+
+def decode_mig_ctl(data: bytes) -> int:
+    """The mig_id of a cutover or abort message."""
+    return _MIG_CTL_MSG.unpack(data)[1]
+
+
+def encode_mig_record(
+    mig_id: int, mseq: int, dst_partition: int, keyhash: bytes, value: bytes
+) -> bytes:
+    """One migrated record, source -> destination over the RC mesh."""
+    _check_keyhash(keyhash)
+    return (
+        _MIG_RECORD_HDR.pack(MIG_RECORD, mig_id, mseq, dst_partition, len(value))
+        + keyhash
+        + value
+    )
+
+
+def decode_mig_record(data: bytes):
+    """(mig_id, mseq, dst_partition, keyhash, value)."""
+    _, mig_id, mseq, dst_partition, vlen = _MIG_RECORD_HDR.unpack_from(data)
+    start = _MIG_RECORD_HDR.size
+    keyhash = data[start:start + KEYHASH_BYTES]
+    value = data[start + KEYHASH_BYTES:start + KEYHASH_BYTES + vlen]
+    return mig_id, mseq, dst_partition, keyhash, value
+
+
+def encode_mig_ack(mig_id: int, mseq: int) -> bytes:
+    return _MIG_ACK_MSG.pack(MIG_ACK, mig_id, mseq)
+
+
+def decode_mig_ack(data: bytes):
+    """(mig_id, mseq)."""
+    return _MIG_ACK_MSG.unpack(data)[1:]
+
+
+def encode_shard_map(version: int, entries) -> bytes:
+    """``entries`` is the sorted boundary list ``[(start, owner), ...]``."""
+    out = [_SHARDMAP_HDR.pack(CTRL_SHARDMAP, version, len(entries))]
+    for start, owner in entries:
+        out.append(_SHARDMAP_ENTRY.pack(start, owner))
+    return b"".join(out)
+
+
+def decode_shard_map(data: bytes):
+    """(version, ((start, owner), ...))."""
+    _, version, n = _SHARDMAP_HDR.unpack_from(data)
+    entries = []
+    offset = _SHARDMAP_HDR.size
+    for _i in range(n):
+        start, owner = _SHARDMAP_ENTRY.unpack_from(data, offset)
+        entries.append((start, owner))
+        offset += _SHARDMAP_ENTRY.size
+    return version, tuple(entries)

@@ -182,3 +182,16 @@ class MicaCache(KeyValueStore):
                 bucket.pop(i)
                 return True
         return False
+
+    def items(self):
+        """Iterate live ``(key, value)`` pairs (newest value per key).
+
+        Walks the index buckets and reads each entry out of the log,
+        skipping slots the log has wrapped past — the scan a migration
+        snapshot (repro.elastic) performs over a partition's store.
+        """
+        for bucket in self.buckets:
+            for tag, pos in list(bucket):
+                entry = self.log.read(pos)
+                if entry is not None and entry[0] == tag:
+                    yield tag, entry[1]

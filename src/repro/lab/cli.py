@@ -36,6 +36,11 @@ def cmd_list(args) -> int:
             % (name, len(spec.points()), spec.description)
         )
     print("tasks: " + "  ".join(sorted(TASKS)))
+    from repro.faults.chaos import SCENARIOS
+
+    print("chaos scenarios (for the chaos/ha/elastic tasks):")
+    for name, blurb in SCENARIOS.items():
+        print("  %-18s %s" % (name, blurb))
     print("(or pass a .json spec file; see docs/LAB.md)")
     return 0
 

@@ -280,6 +280,28 @@ def _ha_failover() -> SweepSpec:
     )
 
 
+def _elasticity() -> SweepSpec:
+    return SweepSpec(
+        name="elasticity",
+        task="elastic",
+        base=dict(
+            scenario="migrate-under-kill",
+            horizon_ns=300_000.0,
+            n_clients=4,
+            n_items=64,
+            value_size=24,
+            n_server_processes=3,
+            intensity=0.5,
+            replication_factor=3,
+            ack_policy="majority",
+        ),
+        axes=[Axis("seed", [3, 5, 11])],
+        description="live resharding under kill-primary chaos: post-reshard "
+        "tail throughput must track a born-full reference cluster, with "
+        "zero lost acked writes",
+    )
+
+
 def _figures() -> SweepSpec:
     return SweepSpec(
         name="figures",
@@ -298,5 +320,6 @@ BUILTIN_SPECS = {
     "skew": _skew,
     "chaos": _chaos,
     "ha-failover": _ha_failover,
+    "elasticity": _elasticity,
     "figures": _figures,
 }

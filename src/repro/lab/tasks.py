@@ -11,6 +11,10 @@ harnesses:
 * ``ha`` — a replicated chaos scenario plus an unreplicated reference
   run; gates availability, lost writes, failover latency, and the
   replication goodput overhead;
+* ``elastic`` — a ``migrate-under-kill`` resharding run plus a
+  born-full reference run; gates the elasticity ``tracking_ratio``
+  (post-reshard tail throughput over the reference's), lost writes,
+  and migration completion;
 * ``figure`` — a whole figure from :data:`repro.bench.figures.FIGURES`,
   flattened to one metric per ``series/x`` cell, so every existing
   figure is lab-runnable (cached, parallel, gated) without changes.
@@ -36,7 +40,11 @@ HIGHER_IS_BETTER = ("mops", "ops", "completed", "ok")
 def metric_direction(name: str) -> int:
     """+1 if larger is better, -1 if smaller is better, 0 if two-sided."""
     short = name.rsplit("/", 1)[-1]
-    if short in HIGHER_IS_BETTER or short in ("availability", "ops_acked"):
+    if short in HIGHER_IS_BETTER or short in (
+        "availability",
+        "ops_acked",
+        "tracking_ratio",
+    ):
         return 1
     if short.endswith(("_us", "_ns")) or short in (
         "retries",
@@ -158,6 +166,79 @@ def run_ha_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     return metrics
 
 
+def run_elastic_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """Resharding under chaos, priced against a born-full reference run.
+
+    The scenario run joins a spare partition mid-horizon and kills the
+    first migration source's primary (``migrate-under-kill``).  The
+    reference run keeps everything else identical — same seed, noise,
+    and pinned crash — but starts with *all* partitions active, so no
+    migration happens.  ``tracking_ratio`` is the scenario's completed
+    ops over the reference's: how closely elastic throughput tracks the
+    cluster it grew into, pricing the whole reshard (holds, reroutes,
+    dual writes, the aborted attempt).  The acceptance bar is ~0.9.
+    """
+    from repro.faults import run_chaos
+    from repro.herd.config import HerdConfig
+
+    kwargs = dict(params)
+    kwargs.setdefault("seed", seed)
+    kwargs.setdefault("scenario", "migrate-under-kill")
+    ns = int(kwargs.get("n_server_processes") or 3)
+    horizon_ns = float(kwargs.get("horizon_ns", 300_000.0))
+    with obs.capture(metrics=True) as session:
+        report = run_chaos(**kwargs)
+        ref_config = HerdConfig(
+            n_server_processes=ns,
+            n_active_partitions=ns,  # born full: no spare, no migration
+            window=4,
+            retry_timeout_ns=10_000.0,
+            adaptive_retry=True,
+            min_retry_timeout_ns=5_000.0,
+            replication_factor=int(kwargs.get("replication_factor", 3)),
+            ack_policy=str(kwargs.get("ack_policy", "majority")),
+            lease_us=float(kwargs.get("lease_us", 5.0)),
+            heartbeat_us=float(kwargs.get("heartbeat_us", 1.0)),
+        )
+        ref_kwargs = {
+            key: kwargs[key]
+            for key in (
+                "seed",
+                "horizon_ns",
+                "drain_ns",
+                "n_clients",
+                "n_items",
+                "value_size",
+                "get_fraction",
+                "intensity",
+            )
+            if key in kwargs
+        }
+        reference = run_chaos(
+            config=ref_config, scenario="migrate-under-kill", **ref_kwargs
+        )
+    tracking_ratio = (
+        report.completed / reference.completed if reference.completed else 0.0
+    )
+    metrics = {
+        "ok": 1.0 if report.ok and reference.ok else 0.0,
+        "tracking_ratio": tracking_ratio,
+        "availability": report.availability,
+        "ops_acked": float(report.ops_acked),
+        "ops_lost": float(report.ops_lost),
+        "tail_completed": float(report.tail_completed),
+        "ref_tail_completed": float(reference.tail_completed),
+        "goodput_kops": report.completed / horizon_ns * 1e6,
+        "map_version": float(report.map_version),
+        "migrations_done": float(report.migrations_done),
+        "migrations_aborted": float(report.migrations_aborted),
+        "records_migrated": float(report.records_migrated),
+        "reroutes": float(report.reroutes),
+    }
+    metrics.update(_obs_metrics(session))
+    return metrics
+
+
 def run_figure_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     from repro.bench.figures import FIGURES
 
@@ -213,6 +294,7 @@ TASKS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, float]]] = {
     "herd": run_herd_task,
     "chaos": run_chaos_task,
     "ha": run_ha_task,
+    "elastic": run_elastic_task,
     "figure": run_figure_task,
     "selftest": run_selftest_task,
 }
@@ -227,6 +309,13 @@ HEADLINE_METRICS = {
         "failover_latency_us",
         "goodput_overhead_pct",
         "ops_lost",
+    ),
+    "elastic": (
+        "ok",
+        "tracking_ratio",
+        "availability",
+        "ops_lost",
+        "migrations_done",
     ),
     "figure": None,  # None = every figure cell is a headline metric
     "selftest": ("mops", "value"),
