@@ -1,6 +1,6 @@
 # Convenience targets for the HERD reproduction.
 
-.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke elastic-smoke clean
+.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke elastic-smoke engine-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -93,6 +93,17 @@ elastic-smoke:
 	python -m repro.lab.cli run elasticity --workers 2 --timeout 600
 	python -m repro.lab.cli gate elasticity \
 		--baseline benchmarks/baselines/elasticity.json
+
+# The event-kernel gate: the sorted-run calendar must stay faster than
+# the reference heap calendar (HeapSimulator, the pre-overhaul
+# algorithm) on identical schedules, and both must produce the
+# identical dispatch digest — a perf gate and a determinism gate in
+# one, folded into BENCH_lab.json.  Workers=1: parallel timing points
+# would contend with each other.
+engine-smoke:
+	python -m repro.lab.cli run engine --workers 1 --timeout 600
+	python -m repro.lab.cli gate engine \
+		--baseline benchmarks/baselines/engine.json
 
 # The lab gate, end to end: a 4-point parallel sweep lands in the
 # result store, a re-run must be served entirely from cache, the

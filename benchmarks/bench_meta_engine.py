@@ -86,3 +86,24 @@ def test_end_to_end_verb_rate(benchmark):
         return server.writes_received
 
     assert benchmark(run) == 2_000
+
+
+def test_workload_generation_rate(benchmark):
+    """Batched operation synthesis (uniform keys, 50/50 GET/PUT).
+
+    Covers the numpy-vectorised keyhash/value path in
+    repro.workloads.ycsb.WorkloadStream; the trace itself is pinned
+    bit-for-bit against the scalar oracle in tests/test_workloads.py.
+    """
+    from repro.workloads import Workload
+
+    def run():
+        stream = Workload(
+            get_fraction=0.5, value_size=32, n_keys=1 << 20
+        ).stream(seed=1)
+        next_op = stream.next_op
+        for _ in range(20_000):
+            next_op()
+        return stream.generated
+
+    assert benchmark(run) == 20_000

@@ -9,6 +9,8 @@ avalanching.
 
 from __future__ import annotations
 
+import numpy as np
+
 _MASK = (1 << 64) - 1
 
 
@@ -18,6 +20,21 @@ def mix64(x: int) -> int:
     x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
     x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK
     return x ^ (x >> 31)
+
+
+def mix64_array(x: "np.ndarray") -> "np.ndarray":
+    """Vectorised :func:`mix64` over a ``uint64`` array.
+
+    ``uint64`` arithmetic wraps modulo 2**64, which is exactly the
+    ``& _MASK`` in the scalar version, so the two agree bit for bit.
+    The workload generator leans on this to synthesise keyhashes and
+    values in batches.
+    """
+    x = x ^ (x >> np.uint64(30))
+    x = x * np.uint64(0xBF58476D1CE4E5B9)
+    x = x ^ (x >> np.uint64(27))
+    x = x * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
 
 
 def hash_key(key: bytes, salt: int = 0) -> int:

@@ -302,6 +302,18 @@ def _elasticity() -> SweepSpec:
     )
 
 
+def _engine() -> SweepSpec:
+    return SweepSpec(
+        name="engine",
+        task="engine",
+        base=dict(n_events=40_000, repeats=5),
+        axes=[Axis("scenario", ["calendar", "fifo", "store"])],
+        description="event-kernel speedup gate: the sorted-run calendar vs "
+        "the reference heap calendar on identical schedules; also gates "
+        "dispatch-order identity (the determinism contract)",
+    )
+
+
 def _figures() -> SweepSpec:
     return SweepSpec(
         name="figures",
@@ -321,5 +333,6 @@ BUILTIN_SPECS = {
     "chaos": _chaos,
     "ha-failover": _ha_failover,
     "elasticity": _elasticity,
+    "engine": _engine,
     "figures": _figures,
 }

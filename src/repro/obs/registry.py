@@ -139,6 +139,7 @@ class MetricsRegistry:
         self.histograms: Dict[str, LogHistogram] = {}
         self._gauge_fns: Dict[str, Callable[[], float]] = {}
         self._stations: List[Any] = []
+        self._anon_stores = 0
 
     # -- metric factories ----------------------------------------------
 
@@ -179,6 +180,16 @@ class MetricsRegistry:
     def watch_store(self, store: Any, name: str) -> Gauge:
         """Adopt a Store; returns its depth high-water-mark gauge."""
         return self.gauge("store.%s.depth_hwm" % name)
+
+    def anon_store_name(self) -> str:
+        """The next anonymous-store metric name for *this* registry.
+
+        Numbering is per simulator, so the names a run emits do not
+        depend on how many simulators happened to run earlier in the
+        same process (a ``workers=1`` rerun must match a fresh one).
+        """
+        self._anon_stores += 1
+        return "store%d" % self._anon_stores
 
     def watch_qp_cache(self, machine_name: str, cache: Any) -> None:
         """Sample a QP-context cache's counters at snapshot time."""

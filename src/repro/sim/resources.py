@@ -18,6 +18,8 @@ from typing import Any, Deque, List
 
 from repro.sim.engine import Event, Simulator
 
+_new_event = Event.__new__
+
 
 class FifoServer:
     """A FIFO queueing station with deterministic per-job service times.
@@ -28,7 +30,9 @@ class FifoServer:
     servers fed from a single FIFO queue.
     """
 
-    __slots__ = ("sim", "name", "capacity", "_free_at", "busy_time", "jobs", "obs")
+    __slots__ = (
+        "sim", "name", "capacity", "_free_at", "busy_time", "jobs", "obs", "tracer",
+    )
 
     def __init__(self, sim: Simulator, name: str, capacity: int = 1) -> None:
         if capacity < 1:
@@ -46,27 +50,48 @@ class FifoServer:
         # histogram; utilization/jobs are pulled at snapshot time.
         metrics = getattr(sim, "metrics", None)
         self.obs = None if metrics is None else metrics.watch_fifo_server(self)
+        # Cached once: observability attaches to the simulator before any
+        # resources exist (see Simulator's class docstring), so a missing
+        # tracer here stays missing — and a 3-arg getattr on an absent
+        # attribute costs more than the rest of a serve() admission.
+        self.tracer = getattr(sim, "tracer", None)
 
     def serve(self, service: float, value: Any = None) -> Event:
         """Enqueue a job; the returned event fires at completion."""
         if service < 0:
             raise ValueError("negative service time: %r" % service)
         sim = self.sim
-        start = heapq.heappop(self._free_at)
-        if start < sim.now:
-            start = sim.now
+        free_at = self._free_at
+        # Single-slot stations (the common case: every PCIe/NIC path)
+        # skip the heap; larger stations pay one pop + push.
+        if len(free_at) == 1:
+            start = free_at[0]
+            if start < sim.now:
+                start = sim.now
+            done_at = start + service
+            free_at[0] = done_at
+        else:
+            start = heapq.heappop(free_at)
+            if start < sim.now:
+                start = sim.now
+            done_at = start + service
+            heapq.heappush(free_at, done_at)
         if self.obs is not None:
             self.obs.observe(start - sim.now)
-        done_at = start + service
-        heapq.heappush(self._free_at, done_at)
         self.busy_time += service
         self.jobs += 1
-        tracer = getattr(sim, "tracer", None)
+        tracer = self.tracer
         if tracer is not None:
             tracer.span(self.name, start, done_at)
-        event = Event(sim)
-        event.triggered = True
+        # Inlined pre-triggered Event construction: serve() runs once
+        # per simulated hardware transaction, and the Event.__init__ /
+        # succeed() round trip costs more than the whole admission.
+        event = _new_event(Event)
+        event.sim = sim
+        event.callbacks = []
         event._value = value
+        event.triggered = True
+        event._scheduled = True
         sim._schedule(done_at - sim.now, event)
         return event
 
@@ -75,10 +100,22 @@ class FifoServer:
         return max(0.0, self._free_at[0] - self.sim.now)
 
     def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` ns this station spent busy."""
+        """Fraction of ``elapsed`` ns this station spent busy.
+
+        ``busy_time`` accrues a job's full service at admission, so the
+        tail of a job that extends past the current instant has not
+        actually been worked yet.  Clamp that overhang off before
+        dividing: without it a station measured near the end of a
+        bounded run can report a utilization above 1.0.
+        """
         if elapsed <= 0:
             return 0.0
-        return self.busy_time / (elapsed * self.capacity)
+        now = self.sim.now
+        busy = self.busy_time
+        for free_at in self._free_at:
+            if free_at > now:
+                busy -= free_at - now
+        return busy / (elapsed * self.capacity)
 
 
 class Store:
@@ -92,9 +129,6 @@ class Store:
 
     __slots__ = ("sim", "name", "_items", "_getters", "obs")
 
-    #: fallback numbering for anonymous stores, per registry-less process
-    _anon = 0
-
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self._items: Deque[Any] = deque()
@@ -105,16 +139,27 @@ class Store:
             self.obs = None
         else:
             if not name:
-                Store._anon += 1
-                name = "store%d" % Store._anon
+                # Anonymous stores are numbered by the per-simulator
+                # registry, not a process-global counter — a metric
+                # name must not depend on how many simulators ran
+                # earlier in the same process.
+                name = metrics.anon_store_name()
             self.name = name
             # depth high-water mark: how far this mailbox backed up
             self.obs = metrics.watch_store(self, name)
 
     def put(self, item: Any) -> None:
         """Deposit ``item``, waking the oldest waiting getter if any."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
+        getters = self._getters
+        if getters:
+            # Inlined Event.succeed: the getter is our own untriggered
+            # event, so the double-trigger check can't fire and the
+            # call frame is pure overhead on the handoff hot path.
+            event = getters.popleft()
+            event.triggered = True
+            event._value = item
+            event._scheduled = True
+            self.sim._schedule(0.0, event)
         else:
             self._items.append(item)
             if self.obs is not None:
@@ -122,11 +167,26 @@ class Store:
 
     def get(self) -> Event:
         """An event firing with the next item."""
-        event = Event(self.sim)
-        if self._items:
-            event.succeed(self._items.popleft())
-        else:
-            self._getters.append(event)
+        items = self._items
+        if items:
+            # Inlined Event + succeed: a ready handoff is the hot path
+            # of every completion queue and request mailbox.
+            sim = self.sim
+            event = _new_event(Event)
+            event.sim = sim
+            event.callbacks = []
+            event._value = items.popleft()
+            event.triggered = True
+            event._scheduled = True
+            sim._schedule(0.0, event)
+            return event
+        event = _new_event(Event)
+        event.sim = self.sim
+        event.callbacks = []
+        event._value = None
+        event.triggered = False
+        event._scheduled = False
+        self._getters.append(event)
         return event
 
     def try_get(self) -> Any:

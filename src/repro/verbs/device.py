@@ -49,6 +49,18 @@ Hook = Callable[[Packet], None]
 #: Retransmission timeout used only when the fabric injects faults.
 RC_RTO_NS = 100_000.0
 
+#: Requester-side opcode -> wire packet kind (built once; the egress
+#: path previously rebuilt this dict literal per transmitted WQE).
+_EGRESS_KIND = {
+    Opcode.WRITE: PacketKind.WRITE,
+    Opcode.SEND: PacketKind.SEND,
+    Opcode.READ: PacketKind.READ_REQ,
+}
+
+#: Packet kinds processed with the *requester* QP-context role at
+#: ingress (responses and ACKs come back to the original requester).
+_REQUESTER_KINDS = frozenset({PacketKind.READ_RESP, PacketKind.ACK})
+
 
 class RdmaDevice:
     """Verbs endpoint for one machine."""
@@ -81,6 +93,25 @@ class RdmaDevice:
         # Observability (repro.obs): semantic verbs counters, None when
         # the simulator carries no metrics registry.
         self.metrics = getattr(self.sim, "metrics", None)
+        # Ingress dispatch tables, built once per device: the profile's
+        # per-kind service times and the bound handler methods.  The
+        # ingress path runs once per wire packet and used to rebuild
+        # both dicts per call.
+        p = self.profile
+        self._ingress_service = {
+            PacketKind.WRITE: p.nic_ingress_write_ns,
+            PacketKind.SEND: p.nic_ingress_send_ns,
+            PacketKind.READ_REQ: p.nic_ingress_read_ns,
+            PacketKind.READ_RESP: p.nic_ingress_resp_ns,
+            PacketKind.ACK: p.nic_ingress_ack_ns,
+        }
+        self._ingress_handler = {
+            PacketKind.WRITE: self._handle_write,
+            PacketKind.SEND: self._handle_send,
+            PacketKind.READ_REQ: self._handle_read_req,
+            PacketKind.READ_RESP: self._handle_read_resp,
+            PacketKind.ACK: self._handle_ack,
+        }
 
     # ------------------------------------------------------------------
     # Setup
@@ -290,11 +321,7 @@ class RdmaDevice:
             payload = mr.read(offset, length)
             if wr.on_fetched is not None:
                 wr.on_fetched()
-        kind = {
-            Opcode.WRITE: PacketKind.WRITE,
-            Opcode.SEND: PacketKind.SEND,
-            Opcode.READ: PacketKind.READ_REQ,
-        }[wr.opcode]
+        kind = _EGRESS_KIND[wr.opcode]
         packet = Packet(
             kind,
             qp.transport,
@@ -343,7 +370,7 @@ class RdmaDevice:
         if wr is None:
             return
         # Mark the WR as outstanding; the ACK / READ_RESP clears it.
-        setattr(wr, "_acked", False)
+        wr._acked = False
 
         def check() -> None:
             if not getattr(wr, "_acked", True):
@@ -387,26 +414,15 @@ class RdmaDevice:
                 ).inc()
             return
         cache = self.machine.qp_cache
-        requester = packet.kind not in (
-            PacketKind.WRITE, PacketKind.SEND, PacketKind.READ_REQ
-        )
+        kind = packet.kind
+        requester = kind in _REQUESTER_KINDS
         role_key = ("s", packet.dst_qpn) if requester else ("r", packet.dst_qpn)
         hit = cache.access(role_key, requester=requester)
-        service = {
-            PacketKind.WRITE: p.nic_ingress_write_ns,
-            PacketKind.SEND: p.nic_ingress_send_ns,
-            PacketKind.READ_REQ: p.nic_ingress_read_ns,
-            PacketKind.READ_RESP: p.nic_ingress_resp_ns,
-            PacketKind.ACK: p.nic_ingress_ack_ns,
-        }[packet.kind] + cache.miss_penalty_ns(hit, requester=requester)
+        service = self._ingress_service[kind] + cache.miss_penalty_ns(
+            hit, requester=requester
+        )
         done = self.machine.nic_ingress.serve(service)
-        handler = {
-            PacketKind.WRITE: self._handle_write,
-            PacketKind.SEND: self._handle_send,
-            PacketKind.READ_REQ: self._handle_read_req,
-            PacketKind.READ_RESP: self._handle_read_resp,
-            PacketKind.ACK: self._handle_ack,
-        }[packet.kind]
+        handler = self._ingress_handler[kind]
         done.add_callback(lambda _e: handler(packet))
 
     def _handle_write(self, packet: Packet) -> None:
@@ -504,7 +520,7 @@ class RdmaDevice:
         wr = packet.wr
         if qp is None or wr is None:
             raise VerbError("READ response for unknown QP/WR")
-        setattr(wr, "_acked", True)
+        wr._acked = True
         mr, offset, _length = wr.local
         mr.write(offset, packet.payload)
         landed = self.machine.pcie.dma_write(packet.length)
@@ -538,7 +554,7 @@ class RdmaDevice:
             self.duplicate_acks += 1
             return  # duplicate ACK after a retransmit; harmless
         wr = qp.unacked.popleft()
-        setattr(wr, "_acked", True)
+        wr._acked = True
         if wr.signaled:
             self._push_cqe(qp.send_cq, Cqe(wr.wr_id, wr.opcode, byte_len=wr.length))
 

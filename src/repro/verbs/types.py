@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 
@@ -93,51 +92,117 @@ class QpState(enum.Enum):
     ERROR = "ERROR"
 
 
-@dataclass
 class Cqe:
-    """A completion queue entry."""
+    """A completion queue entry.
 
-    wr_id: int
-    opcode: Opcode
-    status: CqeStatus = CqeStatus.SUCCESS
-    byte_len: int = 0
-    #: for RECV completions: the sender's (machine, qpn) address
-    src: Optional[Tuple[str, int]] = None
-    #: the local QP this completion belongs to (ibv_wc.qp_num) —
-    #: needed when several QPs share one CQ
-    qpn: int = 0
-    #: simulated time the CQE was pushed to the CQ
-    timestamp: float = 0.0
+    A plain ``__slots__`` class (not a dataclass): the verbs datapath
+    allocates one per signaled WQE and one per delivered message, and
+    the dataclass ``__init__`` indirection showed up in the meta-engine
+    profiles (docs/ENGINE.md).
+    """
+
+    __slots__ = ("wr_id", "opcode", "status", "byte_len", "src", "qpn", "timestamp")
+
+    def __init__(
+        self,
+        wr_id: int,
+        opcode: Opcode,
+        status: CqeStatus = CqeStatus.SUCCESS,
+        byte_len: int = 0,
+        src: Optional[Tuple[str, int]] = None,
+        qpn: int = 0,
+        timestamp: float = 0.0,
+    ) -> None:
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.status = status
+        self.byte_len = byte_len
+        #: for RECV completions: the sender's (machine, qpn) address
+        self.src = src
+        #: the local QP this completion belongs to (ibv_wc.qp_num) —
+        #: needed when several QPs share one CQ
+        self.qpn = qpn
+        #: simulated time the CQE was pushed to the CQ
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return "Cqe(wr_id=%r, opcode=%r, status=%r, byte_len=%r, qpn=%r)" % (
+            self.wr_id,
+            self.opcode,
+            self.status,
+            self.byte_len,
+            self.qpn,
+        )
 
 
-@dataclass
 class WorkRequest:
     """A send-queue work request (WQE before it reaches the NIC).
 
     Use the class-method constructors — they keep the combinations that
     make sense on real hardware and reject the rest early.
+
+    A plain ``__slots__`` class for the same reason as :class:`Cqe`;
+    ``_acked`` is reserved for the device's reliable-transport
+    bookkeeping and left unset until first use.
     """
 
-    opcode: Opcode
-    wr_id: int = 0
-    #: immediate payload bytes (inline) or None
-    payload: Optional[bytes] = None
-    #: local buffer (mr, offset, length) for non-inline sends / READ sink
-    local: Optional[Tuple[object, int, int]] = None
-    #: remote address + rkey for RDMA verbs
-    raddr: int = 0
-    rkey: int = 0
-    inline: bool = False
-    signaled: bool = True
-    #: UD address handle: (machine_name, qpn)
-    ah: Optional[Tuple[str, int]] = None
-    #: bookkeeping the application may attach (e.g. timestamps)
-    context: object = field(default=None, repr=False)
-    #: called once the NIC's DMA read has snapshotted a non-inlined
-    #: payload out of host memory — from then on the local buffer may
-    #: be reused (true zero-copy semantics; HERD's staging buffer
-    #: recycles extents off this)
-    on_fetched: Optional[object] = field(default=None, repr=False, compare=False)
+    __slots__ = (
+        "opcode",
+        "wr_id",
+        "payload",
+        "local",
+        "raddr",
+        "rkey",
+        "inline",
+        "signaled",
+        "ah",
+        "context",
+        "on_fetched",
+        "_acked",
+    )
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        wr_id: int = 0,
+        payload: Optional[bytes] = None,
+        local: Optional[Tuple[object, int, int]] = None,
+        raddr: int = 0,
+        rkey: int = 0,
+        inline: bool = False,
+        signaled: bool = True,
+        ah: Optional[Tuple[str, int]] = None,
+        context: object = None,
+        on_fetched: Optional[object] = None,
+    ) -> None:
+        self.opcode = opcode
+        self.wr_id = wr_id
+        #: immediate payload bytes (inline) or None
+        self.payload = payload
+        #: local buffer (mr, offset, length) for non-inline sends / READ sink
+        self.local = local
+        #: remote address + rkey for RDMA verbs
+        self.raddr = raddr
+        self.rkey = rkey
+        self.inline = inline
+        self.signaled = signaled
+        #: UD address handle: (machine_name, qpn)
+        self.ah = ah
+        #: bookkeeping the application may attach (e.g. timestamps)
+        self.context = context
+        #: called once the NIC's DMA read has snapshotted a non-inlined
+        #: payload out of host memory — from then on the local buffer may
+        #: be reused (true zero-copy semantics; HERD's staging buffer
+        #: recycles extents off this)
+        self.on_fetched = on_fetched
+
+    def __repr__(self) -> str:
+        return "WorkRequest(%r, wr_id=%r, inline=%r, signaled=%r)" % (
+            self.opcode,
+            self.wr_id,
+            self.inline,
+            self.signaled,
+        )
 
     # -- constructors -----------------------------------------------------
 
@@ -234,11 +299,21 @@ class WorkRequest:
         return 0
 
 
-@dataclass
 class RecvRequest:
     """A receive-queue work request: where an incoming SEND lands."""
 
-    wr_id: int
-    #: destination buffer (mr, offset, capacity)
-    local: Tuple[object, int, int]
-    context: object = field(default=None, repr=False)
+    __slots__ = ("wr_id", "local", "context")
+
+    def __init__(
+        self,
+        wr_id: int,
+        local: Tuple[object, int, int],
+        context: object = None,
+    ) -> None:
+        self.wr_id = wr_id
+        #: destination buffer (mr, offset, capacity)
+        self.local = local
+        self.context = context
+
+    def __repr__(self) -> str:
+        return "RecvRequest(wr_id=%r)" % (self.wr_id,)

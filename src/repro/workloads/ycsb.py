@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import enum
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Deque, Iterator, Optional
 
-from repro.kv.hashing import mix64
+import numpy as np
+
+from repro.kv.hashing import mix64, mix64_array
 from repro.workloads.zipf import ZipfianGenerator
 
 KEYHASH_BYTES = 16
@@ -105,8 +108,24 @@ class Workload:
         )
 
 
+_new_op = Operation.__new__
+
+
 class WorkloadStream:
-    """An endless, deterministic stream of operations for one client."""
+    """An endless, deterministic stream of operations for one client.
+
+    Operations are produced in batches of :data:`BATCH`: the RNG draws
+    happen in exactly the order the scalar path would make them (so a
+    trace is bit-for-bit reproducible from the seed), but the keyhash
+    and value synthesis — three splitmix64 rounds per op — run
+    vectorised over the whole batch.  Mixing direct :meth:`next_item`
+    calls *between* :meth:`next_op` calls on the same uniform stream is
+    unsupported: the batch pre-draws from the shared RNG.
+    """
+
+    #: ops synthesised per refill; large enough to amortise the numpy
+    #: calls, small enough that a short run wastes little work
+    BATCH = 256
 
     def __init__(self, workload: Workload, seed: int) -> None:
         self.workload = workload
@@ -117,6 +136,7 @@ class WorkloadStream:
                 workload.n_keys, theta=workload.zipf_theta, seed=seed, scrambled=True
             )
         self.generated = 0
+        self._ops: Deque[Operation] = deque()
 
     def next_item(self) -> int:
         if self._zipf is not None:
@@ -126,12 +146,61 @@ class WorkloadStream:
     def next_op(self) -> Operation:
         """The next operation in this client's trace."""
         self.generated += 1
-        item = self.next_item()
-        if self._rng.random() < self.workload.get_fraction:
-            return Operation(OpType.GET, keyhash(item), None, item=item)
-        return Operation(
-            OpType.PUT, keyhash(item), value_for(item, self.workload.value_size), item=item
-        )
+        ops = self._ops
+        if not ops:
+            self._refill()
+        return ops.popleft()
+
+    def _refill(self) -> None:
+        """Synthesise the next :data:`BATCH` operations in one pass."""
+        count = self.BATCH
+        workload = self.workload
+        get_fraction = workload.get_fraction
+        value_size = workload.value_size
+        rand = self._rng.random
+        if self._zipf is not None:
+            # Two independent RNGs; within each, draw order is the
+            # scalar order (all zipf draws are u's, all stream draws
+            # are GET/PUT coins).
+            items = self._zipf.next_items(count)
+            coins = [rand() for _ in range(count)]
+        else:
+            # One shared RNG: preserve the exact per-op interleaving
+            # randrange(n), random(), randrange(n), random(), ...
+            randrange = self._rng.randrange
+            n_keys = workload.n_keys
+            items = [0] * count
+            coins = [0.0] * count
+            for i in range(count):
+                items[i] = randrange(n_keys)
+                coins[i] = rand()
+        arr = np.asarray(items, dtype=np.uint64)
+        # keyhash(): low = mix64(item), high = mix64(item ^ DEADBEEF)|1,
+        # little-endian concatenated — one (count, 2) u64 buffer.
+        pair = np.empty((count, 2), dtype="<u8")
+        pair[:, 0] = mix64_array(arr)
+        pair[:, 1] = mix64_array(arr ^ np.uint64(0xDEADBEEF)) | np.uint64(1)
+        keys = pair.tobytes()
+        # value_for(): pattern = mix64(item * 31), repeated to size.
+        vpatterns = mix64_array(arr * np.uint64(31)).astype("<u8").tobytes()
+        reps = -(-value_size // 8)
+        ops = self._ops
+        get = OpType.GET
+        put = OpType.PUT
+        for i in range(count):
+            op = _new_op(Operation)
+            base = i << 4
+            if coins[i] < get_fraction:
+                op.__dict__.update(
+                    op=get, key=keys[base : base + 16], value=None, item=items[i]
+                )
+            else:
+                vbase = i << 3
+                value = (vpatterns[vbase : vbase + 8] * reps)[:value_size]
+                op.__dict__.update(
+                    op=put, key=keys[base : base + 16], value=value, item=items[i]
+                )
+            ops.append(op)
 
     def __iter__(self) -> Iterator[Operation]:
         while True:

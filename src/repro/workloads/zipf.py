@@ -16,10 +16,11 @@ land on different partitions.
 from __future__ import annotations
 
 import random
+from typing import List
 
 import numpy as np
 
-from repro.kv.hashing import mix64
+from repro.kv.hashing import mix64, mix64_array
 
 
 def zeta(n: int, theta: float) -> float:
@@ -75,6 +76,36 @@ class ZipfianGenerator:
         if not self.scrambled:
             return rank
         return mix64(rank) % self.n
+
+    def next_items(self, count: int) -> List[int]:
+        """``count`` consecutive :meth:`next_item` draws, batched.
+
+        Consumes exactly ``count`` draws from the same RNG stream and
+        returns bit-for-bit the items the scalar method would have: the
+        rank transform stays scalar (so the ``**`` uses the very same
+        libm ``pow``), while the mix64 scramble — the expensive half —
+        is vectorised.
+        """
+        rand = self._rng.random
+        zetan = self._zetan
+        half = self._half_pow_theta
+        eta = self._eta
+        alpha = self._alpha
+        n = self.n
+        ranks = [0] * count
+        for i in range(count):
+            u = rand()
+            uz = u * zetan
+            if uz < 1.0:
+                continue
+            if uz < half:
+                ranks[i] = 1
+            else:
+                ranks[i] = int(n * (eta * u - eta + 1.0) ** alpha)
+        if not self.scrambled:
+            return ranks
+        scrambled = mix64_array(np.asarray(ranks, dtype=np.uint64)) % np.uint64(n)
+        return scrambled.tolist()
 
     def probability_of_rank(self, rank: int) -> float:
         """Analytic P(rank) under the target distribution."""

@@ -233,3 +233,11 @@ def test_elastic_summary_reports_the_reshard(acceptance_report):
     row = acceptance_report.outcome_row()
     assert row["verdict"] == "OK"
     assert row["ops_lost"] == 0
+
+
+def test_migrate_under_kill_fingerprint_is_pinned(acceptance_report):
+    """Recorded on the pre-overhaul single-heap calendar; the new
+    engine must reproduce it byte for byte."""
+    assert acceptance_report.fingerprint == (
+        "552896d0c27ca411b20eb5a664b57a00855513e1927b24f4f8bf72788c5a17b7"
+    )

@@ -131,3 +131,19 @@ def test_cli_chaos_scenario_prints_the_outcome_table(capsys):
     # the per-scenario outcome table, plus the HA lines of the summary
     assert "scenario" in out and "verdict" in out
     assert "kill-primary" in out and "OK" in out
+
+
+def test_chaos_fingerprint_is_pinned():
+    """The seed-7 default-horizon fingerprint, pinned byte for byte.
+
+    This hash was recorded on the single-heap calendar before the
+    event-engine overhaul; the sorted-run calendar (and every
+    optimisation since) must keep reproducing it exactly.  If an engine
+    change breaks this, it changed dispatch order — see
+    tests/test_engine_calendar.py for the side-by-side oracle.
+    """
+    report = run_chaos(seed=7)
+    assert report.ok, report.violations
+    assert report.fingerprint == (
+        "71024d25ada3bfcad98d34f5f0d0261a993296d46f8d11f527871ca0eff29e62"
+    )

@@ -178,3 +178,11 @@ def test_promotion_unparks_the_partition_before_the_old_primary_returns():
     resumed = [(r, t) for r, t in stamps if adopted <= t < down_end]
     assert resumed, "partition 0 stayed parked until the crashed replica returned"
     assert all(r != 0 for r, t in resumed)
+
+
+def test_kill_primary_fingerprint_is_pinned(acceptance_report):
+    """Recorded on the pre-overhaul single-heap calendar; the new
+    engine must reproduce it byte for byte."""
+    assert acceptance_report.fingerprint == (
+        "5e41a96ad9f7c710ee5aa96d618454085eb6a3b852e1398f73ed8bb2b7f8d1c0"
+    )

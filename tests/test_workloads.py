@@ -6,7 +6,7 @@ import pytest
 
 from repro.kv.hashing import hash_key, mix64
 from repro.workloads import OpType, Workload, ZipfianGenerator
-from repro.workloads.ycsb import keyhash, value_for
+from repro.workloads.ycsb import Operation, keyhash, value_for
 from repro.workloads.zipf import zeta
 
 
@@ -189,3 +189,83 @@ def test_unscrambled_ranks_stay_in_range():
 def test_scrambled_items_stay_in_range():
     gen = ZipfianGenerator(1000, seed=7, scrambled=True)
     assert all(0 <= gen.next_item() < 1000 for _ in range(10_000))
+
+
+# ---------------------------------------------------------------------------
+# batched generation: bit-for-bit the scalar trace
+# ---------------------------------------------------------------------------
+#
+# WorkloadStream synthesises operations in numpy batches.  The oracle
+# below replays the *scalar* semantics — one RNG draw at a time through
+# the public scalar helpers — so these tests fail if batching ever
+# reorders a draw or the vectorised mix64 drifts by a bit.
+
+
+def _scalar_ops(workload, seed, count):
+    import random as _random
+
+    rng = _random.Random(mix64(seed ^ 0xC0FFEE))
+    zipf = None
+    if workload.distribution == "zipfian":
+        zipf = ZipfianGenerator(
+            workload.n_keys, theta=workload.zipf_theta, seed=seed, scrambled=True
+        )
+    ops = []
+    for _ in range(count):
+        item = zipf.next_item() if zipf is not None else rng.randrange(workload.n_keys)
+        if rng.random() < workload.get_fraction:
+            ops.append(Operation(OpType.GET, keyhash(item), None, item=item))
+        else:
+            ops.append(
+                Operation(
+                    OpType.PUT,
+                    keyhash(item),
+                    value_for(item, workload.value_size),
+                    item=item,
+                )
+            )
+    return ops
+
+
+def test_batched_stream_matches_scalar_oracle_uniform():
+    workload = Workload(get_fraction=0.7, value_size=24, n_keys=5000)
+    stream = workload.stream(seed=42)
+    expected = _scalar_ops(workload, 42, 1000)
+    assert [stream.next_op() for _ in range(1000)] == expected
+
+
+def test_batched_stream_matches_scalar_oracle_zipfian():
+    workload = Workload(
+        get_fraction=0.5, value_size=32, n_keys=10_000, distribution="zipfian"
+    )
+    stream = workload.stream(seed=9)
+    expected = _scalar_ops(workload, 9, 1000)
+    assert [stream.next_op() for _ in range(1000)] == expected
+
+
+def test_batch_size_does_not_change_the_trace():
+    workload = Workload(get_fraction=0.5, value_size=16, n_keys=512)
+    reference_stream = workload.stream(seed=3)
+    reference = [reference_stream.next_op() for _ in range(50)]
+    for batch in (1, 2, 7, 50, 64):
+        stream = workload.stream(seed=3)
+        stream.BATCH = batch  # instance override, exercises refills
+        assert [stream.next_op() for _ in range(50)] == reference
+
+
+def test_zipf_next_items_matches_scalar_draws():
+    a = ZipfianGenerator(4096, theta=0.99, seed=13, scrambled=True)
+    b = ZipfianGenerator(4096, theta=0.99, seed=13, scrambled=True)
+    assert a.next_items(500) == [b.next_item() for _ in range(500)]
+    # and the RNG streams stay aligned afterwards
+    assert a.next_item() == b.next_item()
+
+
+def test_batched_operations_support_dataclass_replace():
+    import dataclasses
+
+    stream = Workload(get_fraction=0.0, value_size=8).stream(seed=1)
+    op = stream.next_op()
+    clone = dataclasses.replace(op, item=123)
+    assert clone.item == 123
+    assert clone.key == op.key and clone.value == op.value
