@@ -1,6 +1,6 @@
 # Convenience targets for the HERD reproduction.
 
-.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke elastic-smoke engine-smoke clean
+.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke elastic-smoke engine-smoke qos-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -93,6 +93,34 @@ elastic-smoke:
 	python -m repro.lab.cli run elasticity --workers 2 --timeout 600
 	python -m repro.lab.cli gate elasticity \
 		--baseline benchmarks/baselines/elasticity.json
+
+# A 10x flash crowd hits the same cluster twice: with admission control
+# (shedding) the in-SLO goodput must hold at >= 70% of the pre-burst
+# level with zero lost acked writes and a reproducible fingerprint;
+# without it the same crowd must demonstrably collapse — that contrast
+# is the whole point of repro.qos (docs/QOS.md).  Then the overload
+# sweep is gated against its committed baseline, folding into
+# BENCH_lab.json.
+qos-smoke:
+	python -c "from repro.faults import run_chaos; \
+		kw = dict(seed=7, scenario='flash-crowd'); \
+		a = run_chaos(shedding=True, **kw); \
+		b = run_chaos(shedding=True, **kw); \
+		off = run_chaos(shedding=False, **kw); \
+		print(a.summary()); \
+		assert a.ok, a.violations; \
+		assert a.goodput_ratio >= 0.7, 'goodput ratio %.2f' % a.goodput_ratio; \
+		assert a.ops_lost == 0, '%d acked writes lost' % a.ops_lost; \
+		assert a.shed > 0 and a.retry_after_nacks > 0, 'shedding never engaged'; \
+		assert off.goodput_ratio <= 0.2, \
+		'unprotected run failed to collapse (%.2f)' % off.goodput_ratio; \
+		assert a.fingerprint == b.fingerprint, 'nondeterministic fingerprint'; \
+		print('qos-smoke ok: goodput ratio %.2f shed=%d (unprotected %.2f), ' \
+		'0 lost, fingerprint %s' \
+		% (a.goodput_ratio, a.shed, off.goodput_ratio, a.fingerprint[:16]))"
+	python -m repro.lab.cli run overload --workers 2 --timeout 600
+	python -m repro.lab.cli gate overload \
+		--baseline benchmarks/baselines/overload.json
 
 # The event-kernel gate: the sorted-run calendar must stay faster than
 # the reference heap calendar (HeapSimulator, the pre-overhaul

@@ -66,7 +66,10 @@ def _list_experiments() -> int:
 
 def _outcome_table(rows) -> str:
     """The per-scenario outcome table printed after ``--chaos`` runs."""
-    header = ("scenario", "seed", "acked", "lost", "availability", "checker", "verdict")
+    header = (
+        "scenario", "seed", "acked", "lost", "availability", "p99.9_us",
+        "checker", "verdict",
+    )
     cells = [header] + [
         (
             str(row["scenario"]),
@@ -74,6 +77,7 @@ def _outcome_table(rows) -> str:
             str(row["ops_acked"]),
             str(row["ops_lost"]),
             "%.4f" % row["availability"],
+            "%.1f" % row["p999_us"],
             str(row["checker"]),
             str(row["verdict"]),
         )
@@ -89,7 +93,7 @@ def _outcome_table(rows) -> str:
 def _run_chaos(args) -> int:
     """``herd-bench --chaos``: seeded chaos runs with invariant checks."""
     from repro.faults import run_chaos
-    from repro.faults.chaos import HA_SCENARIOS, SCENARIOS
+    from repro.faults.chaos import SCENARIOS
 
     if args.chaos_scenario == "list":
         print("chaos scenarios:")
@@ -98,9 +102,9 @@ def _run_chaos(args) -> int:
         print("(or 'all'; default: classic unreplicated chaos)")
         return 0
     if args.chaos_scenario == "all":
-        scenarios = list(HA_SCENARIOS)
+        scenarios = list(SCENARIOS)
     elif args.chaos_scenario:
-        if args.chaos_scenario not in HA_SCENARIOS:
+        if args.chaos_scenario not in SCENARIOS:
             print(
                 "unknown chaos scenario %r (try --chaos-scenario list)"
                 % args.chaos_scenario
@@ -252,10 +256,11 @@ def main(argv=None) -> int:
         "--chaos-scenario",
         default=None,
         metavar="S",
-        help="run a replicated (HA) cluster under a named fault scenario "
-        "('list' prints them; 'all' runs every one; default: classic "
-        "unreplicated chaos); the linearizability checker gates the "
-        "result and a per-scenario outcome table is printed",
+        help="run a named fault scenario: replicated (HA) failover or "
+        "open-loop overload (repro.qos) ('list' prints them; 'all' runs "
+        "every one; default: classic unreplicated chaos); the invariant "
+        "checks gate the result and a per-scenario outcome table is "
+        "printed",
     )
     parser.add_argument(
         "--chaos-replication",

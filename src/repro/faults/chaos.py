@@ -28,6 +28,7 @@ fine because loss is rare and the application retries):
 from __future__ import annotations
 
 import hashlib
+import math
 import struct
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
@@ -38,8 +39,10 @@ from repro.herd.cluster import HerdCluster
 from repro.herd.config import HerdConfig, partition_of, route_key
 from repro.workloads.ycsb import OpType, Workload, keyhash, value_for
 
-#: named fault scenarios for replicated (HA) chaos runs, with the
-#: one-line descriptions ``--chaos-scenario list`` prints
+#: named chaos scenarios, with the one-line descriptions
+#: ``--chaos-scenario list`` prints.  The first three are replicated
+#: (HA) failover scenarios; the last three are unreplicated *overload*
+#: scenarios driven by open-loop arrivals (repro.qos, docs/QOS.md)
 SCENARIOS = {
     "kill-primary": "crash one partition's primary for 30% of the horizon",
     "partition-primary": "cut the primary machine's link, forcing a mass failover",
@@ -47,8 +50,31 @@ SCENARIOS = {
         "join a spare partition and kill the migration source's primary "
         "mid-resharding"
     ),
+    "flash-crowd": (
+        "every client's offered load steps 10x for 40% of the horizon; "
+        "admission control must hold goodput and the SLO"
+    ),
+    "aggressor-tenant": (
+        "one tenant floods 10x while the other behaves; quotas must "
+        "throttle the aggressor and shield the victim's tail"
+    ),
+    "slow-client": (
+        "one client stalls, then releases its backlog as a thundering "
+        "herd; shedding must absorb the head-of-line burst"
+    ),
 }
-HA_SCENARIOS = tuple(SCENARIOS)
+HA_SCENARIOS = ("kill-primary", "partition-primary", "migrate-under-kill")
+OVERLOAD_SCENARIOS = ("flash-crowd", "aggressor-tenant", "slow-client")
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile — deterministic, no interpolation, so
+    fingerprint-adjacent report fields reproduce bit-for-bit."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
 
 #: fraction of the horizon after which completions count as "tail"
 #: throughput (the resharded steady state, for elasticity tracking)
@@ -120,6 +146,24 @@ class ChaosReport:
     records_migrated: int = 0
     reroutes: int = 0
     not_owner_nacks: int = 0
+    #: p99.9 response latency in microseconds over the whole run (every
+    #: chaos run records it; 0.0 when no op completed)
+    p999_us: float = 0.0
+    # -- overload (repro.qos) runs only
+    qos_enabled: bool = False
+    offered: int = 0
+    shed: int = 0
+    retry_after_nacks: int = 0
+    rejected: int = 0
+    overflow_dropped: int = 0
+    #: in-SLO completion rate (Mops) before the burst window
+    pre_burst_mops: float = 0.0
+    #: in-SLO completion rate (Mops) inside the burst window
+    burst_mops: float = 0.0
+    #: burst_mops / pre_burst_mops — the goodput floor contract
+    goodput_ratio: float = 1.0
+    #: per-tenant p99 response latency (us), tenant id -> p99
+    tenant_p99_us: Dict[int, float] = field(default_factory=dict)
     #: RunReport when the run was observed (obs capture active); carries
     #: the outcome row so metrics exports include the chaos verdict
     obs: Optional[object] = None
@@ -139,6 +183,7 @@ class ChaosReport:
             "verdict": "OK" if self.ok else "FAILED",
             "availability": self.availability,
             "failover_latency_ns": self.failover_latency_ns,
+            "p999_us": self.p999_us,
         }
 
     def summary(self) -> str:
@@ -159,7 +204,37 @@ class ChaosReport:
             ),
             "  fingerprint %s" % self.fingerprint[:16],
         ]
-        if self.scenario is not None:
+        if self.scenario in OVERLOAD_SCENARIOS:
+            lines.insert(
+                1,
+                "  scenario %s (qos %s): %d offered, %d shed, %d nacked, "
+                "%d rejected, %d overflow-dropped"
+                % (
+                    self.scenario,
+                    "on" if self.qos_enabled else "off",
+                    self.offered,
+                    self.shed,
+                    self.retry_after_nacks,
+                    self.rejected,
+                    self.overflow_dropped,
+                ),
+            )
+            lines.insert(
+                2,
+                "  goodput %.3f -> %.3f Mops in-SLO (ratio %.2f), "
+                "p99.9 %.1f us%s"
+                % (
+                    self.pre_burst_mops,
+                    self.burst_mops,
+                    self.goodput_ratio,
+                    self.p999_us,
+                    "".join(
+                        ", tenant%d p99 %.1f us" % (t, p99)
+                        for t, p99 in sorted(self.tenant_p99_us.items())
+                    ),
+                ),
+            )
+        elif self.scenario is not None:
             lines.insert(
                 1,
                 "  scenario %s (rf=%d, ack=%s): %d acked, %d lost, checker %s"
@@ -220,6 +295,9 @@ def run_chaos(
     lease_us: float = 5.0,
     heartbeat_us: float = 1.0,
     n_server_processes: Optional[int] = None,
+    shedding: bool = True,
+    burst: float = 10.0,
+    slo_ns: float = 20_000.0,
 ) -> ChaosReport:
     """One seeded chaos run; see the module docstring for the checks.
 
@@ -243,12 +321,25 @@ def run_chaos(
     the coordinator live-migrates ranges onto it, and crashes the first
     migration source's primary mid-copy — the move must abort, fail
     over, restart, and still lose nothing.
+
+    The *overload* scenarios (``flash-crowd``, ``aggressor-tenant``,
+    ``slow-client``) instead run an unreplicated cluster with **open-loop
+    arrivals** and no injected faults — the offered load itself is the
+    fault.  ``shedding`` toggles the :mod:`repro.qos` admission control
+    (the wire framing and QP wiring stay identical, so on/off runs are
+    directly comparable), ``burst`` scales the overload event, and
+    ``slo_ns`` is the response-time SLO: only completions within it
+    count toward the ``pre_burst_mops`` / ``burst_mops`` goodput meters.
+    The goodput floor (``goodput_ratio``), tenant tails, and shed
+    accounting land in the report for the smoke / lab gates to assert —
+    a shedding-off run is *expected* to collapse and is not a violation.
     """
-    ha_mode = scenario is not None
-    if ha_mode and scenario not in HA_SCENARIOS:
+    if scenario is not None and scenario not in SCENARIOS:
         raise ValueError(
-            "unknown HA scenario %r (have: %s)" % (scenario, ", ".join(HA_SCENARIOS))
+            "unknown scenario %r (have: %s)" % (scenario, ", ".join(SCENARIOS))
         )
+    ha_mode = scenario in HA_SCENARIOS
+    overload_mode = scenario in OVERLOAD_SCENARIOS
     if ha_mode and value_size < 8:
         raise ValueError("HA chaos tags PUT values; value_size must be >= 8")
     elastic_mode = scenario == "migrate-under-kill"
@@ -281,6 +372,35 @@ def run_chaos(
                 lease_us=lease_us,
                 heartbeat_us=heartbeat_us,
             )
+        elif overload_mode:
+            from repro.qos import QosConfig
+
+            aggressor = scenario == "aggressor-tenant"
+            if shedding:
+                qos = QosConfig(
+                    queue_limit=32,
+                    drop_policy="nack",
+                    codel_target_ns=4_000.0,
+                    codel_interval_ns=20_000.0,
+                    n_tenants=2 if aggressor else 1,
+                    tenant_rates=(None, 2.0) if aggressor else None,
+                    tenant_weights=(4.0, 1.0) if aggressor else None,
+                    retry_after_ns=16_000.0,
+                    qp_pool=4,
+                )
+            else:
+                # every limit off: identical wire framing and QP wiring,
+                # but nothing is ever shed — the unprotected control arm
+                qos = QosConfig(queue_limit=None, codel_target_ns=None, qp_pool=4)
+            # deep windows + a fixed RTO: the classic recipe that lets a
+            # flash crowd push sojourn far past the SLO when unprotected
+            config = HerdConfig(
+                n_server_processes=n_server_processes or 2,
+                window=32,
+                retry_timeout_ns=30_000.0,
+                adaptive_retry=False,
+                qos=qos,
+            )
         else:
             config = HerdConfig(
                 n_server_processes=n_server_processes or 4,
@@ -297,14 +417,76 @@ def run_chaos(
         raise ValueError(
             "migrate-under-kill needs an elastic config (n_active_partitions)"
         )
+    # Goodput windows (overload runs): a pre-burst baseline, the crowd
+    # itself, and the *measurement* window for burst goodput.  The
+    # measurement window starts well after the crowd does: the first
+    # ~0.15h of a flash crowd is the queue-filling ramp, where even an
+    # unprotected server still answers in-SLO from a short queue — the
+    # goodput contract is about the sustained regime after the crowd
+    # has fully formed.  slow-client's "burst" is the backlog flush
+    # when the stall releases, so its windows shift.
+    if scenario == "slow-client":
+        pre_start, pre_end = 0.1 * horizon_ns, 0.3 * horizon_ns
+        burst_start, burst_end = 0.6 * horizon_ns, 0.8 * horizon_ns
+        measure_start, measure_end = burst_start, burst_end
+    else:
+        pre_start, pre_end = 0.1 * horizon_ns, 0.4 * horizon_ns
+        burst_start, burst_end = 0.4 * horizon_ns, 0.8 * horizon_ns
+        measure_start, measure_end = 0.6 * horizon_ns, 0.8 * horizon_ns
+
     cluster = HerdCluster(config=config, n_client_machines=4, seed=seed)
     workload = Workload(
         get_fraction=get_fraction, value_size=value_size, n_keys=n_items
     )
+    if scenario == "aggressor-tenant" and n_clients == 8:
+        # Six aggressors are needed to push the fleet past capacity:
+        # an open-loop client's send path self-clocks at ~3 ops/us, so
+        # four bursting clients alone cannot drown the victims.
+        n_clients = 12
     cluster.add_clients(n_clients, workload)
     if ha_mode:
         for client in cluster.clients:
             client.stream = _TaggedStream(client.stream, client.client_id)
+    if overload_mode:
+        from repro.workloads import (
+            FlashCrowdArrivals,
+            PoissonArrivals,
+            StalledArrivals,
+        )
+
+        # per-client steady rate: the fleet sits well under capacity
+        # until the scenario's overload event lands
+        base_rate = 0.45 * intensity
+        for client in cluster.clients:
+            rng = child_rng(seed, "qos.client%d.arrivals" % client.client_id)
+            if scenario == "flash-crowd":
+                client.arrivals = FlashCrowdArrivals(
+                    base_rate,
+                    rng,
+                    burst_factor=burst,
+                    burst_start_ns=burst_start,
+                    burst_end_ns=burst_end,
+                )
+            elif scenario == "aggressor-tenant":
+                if client.client_id % 2 == 1:  # odd clients: the aggressor
+                    client.arrivals = FlashCrowdArrivals(
+                        base_rate,
+                        rng,
+                        burst_factor=burst,
+                        burst_start_ns=burst_start,
+                        burst_end_ns=burst_end,
+                    )
+                else:
+                    client.arrivals = PoissonArrivals(base_rate, rng)
+            elif client.client_id == 0:  # slow-client: one stalled source
+                client.arrivals = StalledArrivals(
+                    PoissonArrivals(base_rate * 0.5 * burst, rng),
+                    stall_start_ns=0.3 * horizon_ns,
+                    stall_end_ns=0.6 * horizon_ns,
+                    flush_gap_ns=50.0,
+                )
+            else:
+                client.arrivals = PoissonArrivals(base_rate, rng)
     cluster.wire()
     cluster.preload(range(n_items), value_size)
     if plan is None:
@@ -335,6 +517,10 @@ def run_chaos(
                 plan.crash_server(
                     0, at_ns=0.27 * horizon_ns, down_ns=0.3 * horizon_ns
                 )
+        elif overload_mode:
+            # the flash crowd IS the fault: no injected loss or crashes,
+            # so every shed and retry traces back to admission control
+            plan = FaultPlan(seed=seed)
         else:
             plan = FaultPlan.randomized(
                 seed,
@@ -391,6 +577,32 @@ def run_chaos(
 
         return hook
 
+    # Response latencies: every run records the p99.9 tail; overload
+    # runs additionally meter *in-SLO* goodput around the burst window
+    # (a completion slower than slo_ns is not useful work) and split
+    # tails by tenant for the isolation contract.
+    latencies: List[float] = []
+    tenant_latencies: Dict[int, List[float]] = {}
+    pre_good = [0]
+    burst_good = [0]
+    tenant_split = scenario == "aggressor-tenant"
+
+    def make_response_hook(client_id: int):
+        tenant = client_id % 2 if tenant_split else 0
+
+        def hook(op, latency, success, now):
+            latencies.append(latency)
+            if not overload_mode:
+                return
+            tenant_latencies.setdefault(tenant, []).append(latency)
+            if success and latency <= slo_ns:
+                if pre_start <= now < pre_end:
+                    pre_good[0] += 1
+                elif measure_start <= now < measure_end:
+                    burst_good[0] += 1
+
+        return hook
+
     # HA runs additionally record the full invoke/response history, per
     # key, for the linearizability checker.  An op is identified by its
     # (client, partition, window slot, slot epoch) — exactly the token
@@ -430,6 +642,7 @@ def run_chaos(
 
     for client in cluster.clients:
         client.payload_hook = make_hook(client.client_id)
+        client.response_hook = make_response_hook(client.client_id)
         client.stop_after = horizon_ns
         client.start()
     for server in cluster.servers:
@@ -522,15 +735,21 @@ def run_chaos(
     elastic_counters: Dict[str, int] = {}
     reroutes = not_owner_nacks = 0
     if not ha_mode:
+        divergences = 0
         for item in range(n_items):
             kh = keyhash(item)
             server = cluster.servers[partition_of(kh, config.n_server_processes)]
             stored = server.store.get(kh)
             if stored != value_for(item, value_size):
+                divergences += 1
                 violations.append(
                     "store divergence for item %d on server %d"
                     % (item, server.index)
                 )
+        if overload_mode:
+            # a diverged entry is an acked write the store lost (or
+            # double-applied): the "zero lost acked writes" witness
+            ops_lost = divergences
     else:
         from repro.ha import check_histories, lost_acked_writes, split_brain
 
@@ -593,6 +812,23 @@ def run_chaos(
             "crash/recovery mismatch: planned %d, crashed %d, recovered %d"
             % (expected_crashes, total_crashes, total_recoveries)
         )
+
+    # -- overload metrics --------------------------------------------------
+    # The goodput floor and tenant-isolation band are *report fields*,
+    # asserted by the qos smoke / lab gate / tests — not violations, so
+    # a shedding-off control run is allowed to collapse and show it.
+    p999_us = _percentile(latencies, 99.9) / 1000.0
+    pre_burst_mops = burst_mops = 0.0
+    goodput_ratio = 1.0
+    tenant_p99_us: Dict[int, float] = {}
+    if overload_mode:
+        pre_burst_mops = pre_good[0] / (pre_end - pre_start) * 1e3
+        burst_mops = burst_good[0] / (measure_end - measure_start) * 1e3
+        goodput_ratio = burst_mops / pre_burst_mops if pre_burst_mops else 0.0
+        tenant_p99_us = {
+            tenant: _percentile(samples, 99.0) / 1000.0
+            for tenant, samples in sorted(tenant_latencies.items())
+        }
 
     # -- fingerprint -------------------------------------------------------
     digest = hashlib.sha256()
@@ -693,6 +929,34 @@ def run_chaos(
                         )
                     ).encode()
                 )
+    if overload_mode:
+        # the overload fingerprint additionally pins the admission
+        # outcome: every shed (by reason and tenant) and every client's
+        # open-loop offered/dropped/nacked traffic
+        digest.update(
+            (
+                "scenario=%s shedding=%d burst=%g\n"
+                % (scenario, int(shedding), burst)
+            ).encode()
+        )
+        for line in cluster.qos_runtime.counter_lines():
+            digest.update((line + "\n").encode())
+        for server in cluster.servers:
+            digest.update(("s%d shed=%d\n" % (server.index, server.shed)).encode())
+        for client in cluster.clients:
+            digest.update(
+                (
+                    "c%d offered=%d overflow=%d paused=%d nacks=%d rejected=%d\n"
+                    % (
+                        client.client_id,
+                        client.offered,
+                        client.overflow_dropped,
+                        client.nack_pause_drops,
+                        client.retry_after_nacks,
+                        client.rejected,
+                    )
+                ).encode()
+            )
 
     report = ChaosReport(
         seed=seed,
@@ -729,6 +993,17 @@ def run_chaos(
         records_migrated=elastic_counters.get("records_applied", 0),
         reroutes=reroutes,
         not_owner_nacks=not_owner_nacks,
+        p999_us=p999_us,
+        qos_enabled=overload_mode and shedding,
+        offered=sum(c.offered for c in cluster.clients),
+        shed=cluster.qos_runtime.total_shed if cluster.qos_runtime else 0,
+        retry_after_nacks=sum(c.retry_after_nacks for c in cluster.clients),
+        rejected=sum(c.rejected for c in cluster.clients),
+        overflow_dropped=sum(c.overflow_dropped for c in cluster.clients),
+        pre_burst_mops=pre_burst_mops,
+        burst_mops=burst_mops,
+        goodput_ratio=goodput_ratio,
+        tenant_p99_us=tenant_p99_us,
     )
     from repro.obs.report import RunReport  # deferred: optional layer
 

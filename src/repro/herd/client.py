@@ -63,6 +63,7 @@ from repro.herd.region import RequestRegion
 from repro.herd.wire import (
     RESP_NOT_OWNER,
     RESP_OK,
+    RESP_RETRY_AFTER,
     RESP_STALE_EPOCH,
     decode_response,
     encode_get,
@@ -100,6 +101,8 @@ class _Pending:
     epoch: int = 0
     #: which replica of the partition the request was last aimed at
     replica: int = 0
+    #: consecutive RESP_RETRY_AFTER nacks (repro.qos backoff budget)
+    nacks: int = 0
 
 
 class HerdClientProcess:
@@ -123,9 +126,11 @@ class HerdClientProcess:
         rf = config.replication_factor
         self._ns = ns
         self._ha = rf > 1
-        #: response slot: the HA status byte rides between the loss-mode
-        #: prefix and the body, so replicated slots are one byte wider
-        self._recv_slot = _RECV_SLOT + (1 if self._ha else 0)
+        #: status-byte framing: HA and QoS responses both carry a status
+        #: byte between the loss-mode prefix and the body
+        self._status_framing = self._ha or config.qos is not None
+        #: response slot: the status byte makes framed slots 1 B wider
+        self._recv_slot = _RECV_SLOT + (1 if self._status_framing else 0)
         #: per-lane RECV ring depth; deeper under replication because
         #: stale nacks and replays consume extra buffers
         self._ring = (4 if self._ha else 2) * config.window
@@ -188,6 +193,10 @@ class HerdClientProcess:
         #: when set, draw no new ops from the stream after this time
         #: (the chaos harness uses this to drain the windows)
         self.stop_after: Optional[float] = None
+        #: open-loop mode (repro.qos): an ArrivalProcess that schedules
+        #: request arrivals independently of completions.  None keeps
+        #: the paper's closed loop.  Set before :meth:`start`.
+        self.arrivals = None
         #: retry jitter / backoff randomness: a named child stream of
         #: the cluster seed, so retries never perturb workload draws
         self._rng = retry_rng if retry_rng is not None else random.Random(client_id)
@@ -216,7 +225,23 @@ class HerdClientProcess:
         self.not_owner_nacks = 0
         self.reroutes = 0
         self.map_refreshes = 0
+        # QoS / open-loop counters
+        self.offered = 0
+        self.overflow_dropped = 0
+        self.retry_after_nacks = 0
+        self.rejected = 0
+        #: ingress pause armed by RESP_RETRY_AFTER (429 semantics: the
+        #: hint throttles the *source*, not just the nacked request)
+        self._nack_pause_until = 0.0
+        self.nack_pause_drops = 0
+        # Resilience events surfaced as registry *counters* (shared
+        # across clients, unlike the per-client gauges): retry budgets
+        # draining and slots entering quarantine were silent before.
+        self._retries_exhausted_ctr = None
+        self._slots_quarantined_ctr = None
         if metrics is not None:
+            self._retries_exhausted_ctr = metrics.counter("client.retries_exhausted")
+            self._slots_quarantined_ctr = metrics.counter("client.slots_quarantined")
             prefix = "herd.client%d." % client_id
             metrics.gauge_fn(prefix + "retries", lambda: self.retries)
             metrics.gauge_fn(
@@ -229,13 +254,30 @@ class HerdClientProcess:
                 metrics.gauge_fn(prefix + "replays", lambda: self.replays)
                 metrics.gauge_fn(prefix + "failovers", lambda: self.failovers)
                 metrics.gauge_fn(prefix + "reroutes", lambda: self.reroutes)
+            if config.qos is not None:
+                metrics.gauge_fn(prefix + "offered", lambda: self.offered)
+                metrics.gauge_fn(
+                    prefix + "overflow_dropped", lambda: self.overflow_dropped
+                )
+                metrics.gauge_fn(
+                    prefix + "retry_after_nacks", lambda: self.retry_after_nacks
+                )
+                metrics.gauge_fn(prefix + "rejected", lambda: self.rejected)
 
     # ------------------------------------------------------------------
 
     def start(self) -> None:
         if self.uc_qp is None or self.region is None:
             raise RuntimeError("client not wired to a cluster")
-        self.sim.process(self.run(), name="herd-client-%d" % self.client_id)
+        if self.arrivals is not None:
+            self.sim.process(
+                self._open_loop(), name="herd-client-%d" % self.client_id
+            )
+            self.sim.process(
+                self._responder(), name="herd-client-%d-resp" % self.client_id
+            )
+        else:
+            self.sim.process(self.run(), name="herd-client-%d" % self.client_id)
         if self.config.retry_timeout_ns is not None:
             self.sim.process(
                 self._retry_watchdog(), name="herd-client-%d-retry" % self.client_id
@@ -249,6 +291,48 @@ class HerdClientProcess:
             yield self.sim.timeout(self.profile.cq_poll_ns)
             self._absorb(cqe)
             yield from self._issue_next()
+
+    # -- open-loop mode (repro.qos) ------------------------------------
+
+    def _open_loop(self) -> Generator[Event, None, None]:
+        """Issue requests on the arrival process's schedule.
+
+        Unlike the closed loop, arrivals do not wait for completions:
+        when the window (and the bounded parking lot) for a partition
+        is full, the arrival is *dropped at the client* and counted —
+        the open-loop analogue of a full front-end queue.
+        """
+        while True:
+            yield self.sim.timeout(self.arrivals.next_gap_ns(self.sim.now))
+            if self.stop_after is not None and self.sim.now >= self.stop_after:
+                return
+            self.offered += 1
+            if self.sim.now < self._nack_pause_until:
+                # A RESP_RETRY_AFTER nack pauses this client's intake:
+                # fresh arrivals are shed at the ingress for free — no
+                # slot claimed, no WRITE sent, no server cycle burned.
+                # The already-nacked ops act as the probes; their
+                # admission is what lifts the pause's renewal.
+                self.nack_pause_drops += 1
+                continue
+            op = self.stream.next_op()
+            server = route_key(op.key, self._ns, self.shard_map)
+            if self._slot_free[server]:
+                yield from self._send_op(op, server)
+            elif len(self._parked[server]) < self._park_limit:
+                self._parked[server].append(op)
+            else:
+                self.overflow_dropped += 1
+
+    def _responder(self) -> Generator[Event, None, None]:
+        """Absorb responses and drain parked arrivals into freed slots."""
+        while True:
+            cqe = yield self.recv_cq.pop()
+            yield self.sim.timeout(self.profile.cq_poll_ns)
+            self._absorb(cqe)
+            for server in range(self._ns):
+                while self._parked[server] and self._slot_free[server]:
+                    yield from self._send_op(self._parked[server].popleft(), server)
 
     # ------------------------------------------------------------------
 
@@ -291,16 +375,9 @@ class HerdClientProcess:
         self._sent_to_server[lane] = seq + 1
         recv_offset = (seq % self._ring) * self._recv_slot * len(self.ud_qps)
         recv_offset += lane * self._recv_slot
-        yield from self.device.post_recv_timed(
-            self.ud_qps[lane],
-            RecvRequest(
-                wr_id=token, local=(self.recv_mr, recv_offset, self._recv_slot)
-            ),
-        )
-        self._recv_order[lane].append(recv_offset)
 
-        # 2. WRITE the request into the server's request region.
-        if self.config.retry_timeout_ns is not None:
+        loss_mode = self.config.retry_timeout_ns is not None
+        if loss_mode:
             epoch = (self._slot_epoch[server][window_slot] + 1) & 0xFF
             self._slot_epoch[server][window_slot] = epoch
             wire_epoch = epoch
@@ -316,6 +393,50 @@ class HerdClientProcess:
         uc_qp = self.ha_uc_qps[replica] if self._ha else self.uc_qp
         slot_addr = region.slot_addr(server, self.client_id, window_slot)
         raddr = slot_addr + self.config.slot_bytes - len(payload)
+
+        # Atomic bookkeeping: the QP post, the posting-order mirror,
+        # and (loss mode) the pending record all land in one instant,
+        # with no yield in between.  The mirror must match the order
+        # the NIC sees — another process (the responder re-arming a
+        # RECV after a nack or duplicate) may run inside any yield
+        # window, and appending around one would record a posting
+        # order the NIC never saw.  The pending record joins at the
+        # same instant so the RECV-accounting invariant
+        # (len(recv_order) == len(pending) + len(quarantined)) holds
+        # at every yield point; no response can match it before the
+        # WRITE below is posted because matching requires this slot
+        # epoch, and the deadline stays infinite until the WRITE is
+        # out so the retry watchdog ignores the half-sent op.
+        self.device.post_recv(
+            self.ud_qps[lane],
+            RecvRequest(
+                wr_id=token, local=(self.recv_mr, recv_offset, self._recv_slot)
+            ),
+        )
+        self._recv_order[lane].append(recv_offset)
+        record: Optional[_Pending] = None
+        if loss_mode:
+            record = _Pending(
+                op,
+                self.sim.now,
+                server,
+                window_slot,
+                recv_offset,
+                payload=payload,
+                raddr=raddr,
+                last_sent=self.sim.now,
+                deadline=float("inf"),
+                epoch=epoch,
+                replica=replica,
+            )
+            self._pending[server].append(record)
+        self.outstanding += 1
+        self.issued += 1
+        # post_recv_timed's cost, inlined so the block above stays atomic
+        yield self.sim.timeout(self.device.profile.post_recv_ns)
+        yield self.device.machine.pcie.doorbell()
+
+        # 2. WRITE the request into the server's request region.
         if len(payload) <= self.profile.max_inline:
             wr = WorkRequest.write(
                 raddr=raddr, rkey=region.mr.rkey, payload=payload,
@@ -332,23 +453,29 @@ class HerdClientProcess:
             )
         yield from self.device.post_send_timed(uc_qp, wr)
         now = self.sim.now
-        self._pending[server].append(
-            _Pending(
-                op,
-                now,
-                server,
-                window_slot,
-                recv_offset,
-                payload=payload,
-                raddr=raddr,
-                last_sent=now,
-                deadline=now + (self._rto() or 0.0),
-                epoch=epoch,
-                replica=replica,
+        if loss_mode:
+            # The WRITE is on the wire: start the retry clock.
+            record.sent_at = now
+            record.last_sent = now
+            record.deadline = now + (self._rto() or 0.0)
+        else:
+            # Lossless completions pop the pending queue FIFO, so the
+            # record must join in WRITE-posting order, not issue order.
+            self._pending[server].append(
+                _Pending(
+                    op,
+                    now,
+                    server,
+                    window_slot,
+                    recv_offset,
+                    payload=payload,
+                    raddr=raddr,
+                    last_sent=now,
+                    deadline=now,
+                    epoch=epoch,
+                    replica=replica,
+                )
             )
-        )
-        self.outstanding += 1
-        self.issued += 1
         if self.ha_event_hook is not None:
             self.ha_event_hook(
                 "invoke", op, server, window_slot, epoch, None, None, now
@@ -428,6 +555,8 @@ class HerdClientProcess:
                         # replica: redirect instead of giving up.
                         yield from self._replay(record)
                         continue
+                    if self._retries_exhausted_ctr is not None:
+                        self._retries_exhausted_ctr.inc()
                     self._abandon(record)
                     continue
                 record.attempts += 1
@@ -514,14 +643,15 @@ class HerdClientProcess:
         self._sent_to_server[lane] = seq + 1
         recv_offset = (seq % self._ring) * self._recv_slot * len(self.ud_qps)
         recv_offset += lane * self._recv_slot
+        # mirror-append before the timed yield (see _send_op)
+        self._recv_order[lane].append(recv_offset)
+        record.recv_offset = recv_offset
         yield from self.device.post_recv_timed(
             self.ud_qps[lane],
             RecvRequest(
                 wr_id=token, local=(self.recv_mr, recv_offset, self._recv_slot)
             ),
         )
-        self._recv_order[lane].append(recv_offset)
-        record.recv_offset = recv_offset
         region = self.ha_regions[replica]
         record.raddr = (
             region.slot_addr(server, self.client_id, record.window_slot)
@@ -549,6 +679,8 @@ class HerdClientProcess:
         self.outstanding -= 1
         self.abandoned += 1
         self._quarantined[record.server][record.window_slot] = record.epoch
+        if self._slots_quarantined_ctr is not None:
+            self._slots_quarantined_ctr.inc()
 
     # -- completion ----------------------------------------------------
 
@@ -568,7 +700,7 @@ class HerdClientProcess:
             # consumed FIFO regardless of which request is answered).
             offset = self._recv_order[lane].popleft()
             raw = self.recv_mr.read(offset + 40, cqe.byte_len)
-            if self._ha:
+            if self._status_framing:
                 slot, epoch, status = raw[0], raw[1], raw[2]
                 payload = raw[3:]
             else:
@@ -588,7 +720,15 @@ class HerdClientProcess:
                 # A duplicate response (retry raced the original).  Put
                 # a fresh RECV in place of the one this duplicate ate so
                 # the still-pending request it belonged to can complete.
+                # Allocated through the ring rotation, not at the
+                # consumed offset: a same-offset re-arm can collide with
+                # a later send's rotation while it waits, aiming two
+                # RECVs at one buffer.
                 self.duplicate_responses += 1
+                seq = self._sent_to_server[lane]
+                self._sent_to_server[lane] = seq + 1
+                offset = (seq % self._ring) * self._recv_slot * len(self.ud_qps)
+                offset += lane * self._recv_slot
                 self.device.post_recv(
                     self.ud_qps[lane],
                     RecvRequest(
@@ -602,6 +742,9 @@ class HerdClientProcess:
                 return
             if status == RESP_NOT_OWNER:
                 self._on_not_owner(record, lane, offset)
+                return
+            if status == RESP_RETRY_AFTER:
+                self._on_retry_after(record, lane, offset)
                 return
         self.outstanding -= 1
         self.completed += 1
@@ -660,6 +803,67 @@ class HerdClientProcess:
             )
             self._recv_order[lane].append(offset)
             record.recv_offset = offset
+
+    # -- overload nacks (repro.qos) ------------------------------------
+
+    def _on_retry_after(self, record: _Pending, lane: int, offset: int) -> None:
+        """The server shed this request: back off before re-sending.
+
+        The op was never executed (the nack is the whole answer) and
+        the server cleared its slot.  Within the nack budget the op
+        stays pending with a deliberately *late* deadline — base
+        ``retry_after_ns`` growing exponentially per consecutive nack,
+        jittered from the client's own RNG stream — and the retry
+        watchdog performs the deferred re-send.  Past the budget the op
+        is rejected outright: slot freed (nothing is in flight, so no
+        quarantine is needed) and the RECV this nack consumed is not
+        replaced, keeping the ring accounting exact.
+
+        The replacement RECV is allocated through the same ring
+        rotation as first sends — re-arming the just-consumed offset
+        would let a later send's rotation wrap onto it while the nacked
+        op still waits out its backoff, leaving two RECVs aimed at one
+        buffer (the second message then overwrites the first's bytes
+        before it is read).
+        """
+        qos = self.config.qos
+        self.retry_after_nacks += 1
+        record.nacks += 1
+        now = self.sim.now
+        jitter = 1.0 + self.config.retry_jitter * self._rng.random()
+        # 429 semantics: the hint throttles the whole source.  Fresh
+        # open-loop arrivals are shed at the ingress until the pause
+        # expires, so a saturated server is not burning cycles nacking
+        # a fleet that will only be nacked again.  The pause is the
+        # *base* hint (jittered, not per-op exponential): each client
+        # keeps probing roughly once per retry_after_ns, which is what
+        # lets the fleet discover recovered capacity quickly.
+        self._nack_pause_until = max(
+            self._nack_pause_until, now + qos.retry_after_ns * jitter
+        )
+        if (
+            qos.retry_after_budget is not None
+            and record.nacks >= qos.retry_after_budget
+        ):
+            self.rejected += 1
+            self.abandoned += 1  # keeps the accounting identity closed
+            self.outstanding -= 1
+            self._slot_free[record.server].add(record.window_slot)
+            return
+        seq = self._sent_to_server[lane]
+        self._sent_to_server[lane] = seq + 1
+        offset = (seq % self._ring) * self._recv_slot * len(self.ud_qps)
+        offset += lane * self._recv_slot
+        self.device.post_recv(
+            self.ud_qps[lane],
+            RecvRequest(wr_id=0, local=(self.recv_mr, offset, self._recv_slot)),
+        )
+        self._recv_order[lane].append(offset)
+        record.recv_offset = offset
+        backoff = qos.retry_after_backoff ** (record.nacks - 1)
+        record.attempts = 0
+        record.deadline = now + qos.retry_after_ns * backoff * jitter
+        self._pending[record.server].append(record)
 
     # -- elastic resharding (repro.elastic) ----------------------------
 

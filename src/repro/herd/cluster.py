@@ -79,6 +79,9 @@ class HerdCluster:
         #: ElasticRuntime (repro.elastic) when n_active_partitions is
         #: set; None keeps the classic static sharding
         self.elastic = None
+        #: QosRuntime (repro.qos) when ``config.qos`` is set; None keeps
+        #: the classic admit-everything server loop
+        self.qos_runtime = None
         self._wired = False
         # Replica machines (rep1..rep{rf-1}) and the lease monitor get
         # their own NICs on the same fabric; their cache RNGs are named
@@ -109,23 +112,33 @@ class HerdCluster:
 
     # ------------------------------------------------------------------
 
-    def add_clients(self, n: int, workload: Workload) -> None:
-        """Create ``n`` client processes, round-robin over machines."""
+    def add_clients(self, n: int, workload: Workload, arrival_factory=None) -> None:
+        """Create ``n`` client processes, round-robin over machines.
+
+        ``arrival_factory(cid, rng)`` (optional) returns an open-loop
+        :class:`repro.workloads.ArrivalProcess` for client ``cid``; the
+        rng is a named child stream of the cluster seed, so attaching
+        arrivals never perturbs workload or retry draws.  Without a
+        factory clients run the paper's closed loop.
+        """
         if self._wired:
             raise RuntimeError("cannot add clients after wiring")
         for i in range(n):
             cid = len(self.clients)
             device = self.client_devices[cid % len(self.client_devices)]
             stream = workload.stream(seed=self.seed * 1_000_003 + cid)
-            self.clients.append(
-                HerdClientProcess(
-                    cid,
-                    device,
-                    self.config,
-                    stream,
-                    retry_rng=child_rng(self.seed, "client%d.retry" % cid),
-                )
+            client = HerdClientProcess(
+                cid,
+                device,
+                self.config,
+                stream,
+                retry_rng=child_rng(self.seed, "client%d.retry" % cid),
             )
+            if arrival_factory is not None:
+                client.arrivals = arrival_factory(
+                    cid, child_rng(self.seed, "qos.client%d.arrivals" % cid)
+                )
+            self.clients.append(client)
 
     def wire(self) -> None:
         """Create the request region, server processes, and all QPs."""
@@ -146,14 +159,41 @@ class HerdCluster:
                 client.dct_ah = ("server", dct.qpn)
                 client.region = self.region
         else:
-            # The initializer's UC connections: one per client process.
-            for client in self.clients:
-                server_qp = self.server_device.create_qp(Transport.UC)
-                client_qp = client.device.create_qp(Transport.UC)
-                server_qp.connect(client.device.machine.name, client_qp.qpn)
-                client_qp.connect("server", server_qp.qpn)
-                client.uc_qp = client_qp
-                client.region = self.region
+            qos = self.config.qos
+            if qos is not None and qos.qp_pool is not None and qos.qp_pool < nc:
+                # Bounded QP pool (repro.qos): clients share a fixed set
+                # of server-side UC QPs round-robin, so client count no
+                # longer scales the server NIC's connected-QP footprint
+                # (the Figure 12 QP-cache cliff).  Sharing is safe for
+                # requests: the server never sends on these QPs, and
+                # inbound WRITEs resolve their MR by raddr/rkey alone.
+                pool = [
+                    self.server_device.create_qp(Transport.UC)
+                    for _ in range(qos.qp_pool)
+                ]
+                connected = [False] * len(pool)
+                for client in self.clients:
+                    index = client.client_id % len(pool)
+                    server_qp = pool[index]
+                    client_qp = client.device.create_qp(Transport.UC)
+                    client_qp.connect("server", server_qp.qpn)
+                    if not connected[index]:
+                        # the pool QP's peer is inert (the server never
+                        # sends on it); aim it at its first client so
+                        # the QP reaches RTS like any connected QP
+                        server_qp.connect(client.device.machine.name, client_qp.qpn)
+                        connected[index] = True
+                    client.uc_qp = client_qp
+                    client.region = self.region
+            else:
+                # The initializer's UC connections: one per client process.
+                for client in self.clients:
+                    server_qp = self.server_device.create_qp(Transport.UC)
+                    client_qp = client.device.create_qp(Transport.UC)
+                    server_qp.connect(client.device.machine.name, client_qp.qpn)
+                    client_qp.connect("server", server_qp.qpn)
+                    client.uc_qp = client_qp
+                    client.region = self.region
         # Server processes, each with the response AH table.
         for s in range(self.config.n_server_processes):
             ahs = [
@@ -163,6 +203,15 @@ class HerdCluster:
             self.servers.append(
                 HerdServerProcess(s, self.server_device, self.region, self.config, ahs)
             )
+        if self.config.qos is not None:
+            from repro.qos import QosRuntime
+
+            self.qos_runtime = QosRuntime(
+                self.config.qos, self.config.n_server_processes
+            )
+            self.region.stamp_arrivals = True
+            for server in self.servers:
+                server.admission = self.qos_runtime.partition(server.index)
         if self.config.replication_factor > 1:
             self._wire_ha()
         self._wired = True
@@ -363,6 +412,19 @@ class HerdCluster:
         self.sim.run(until=window_end)
         machine = self.server_device.machine
         elapsed = self.sim.now
+        qos_extras = {}
+        if self.qos_runtime is not None:
+            qos_extras = dict(
+                shed=float(self.qos_runtime.total_shed),
+                offered=float(sum(c.offered for c in self.clients)),
+                overflow_dropped=float(
+                    sum(c.overflow_dropped for c in self.clients)
+                ),
+                retry_after_nacks=float(
+                    sum(c.retry_after_nacks for c in self.clients)
+                ),
+                rejected=float(sum(c.rejected for c in self.clients)),
+            )
         return collect(
             meter,
             latencies,
@@ -383,4 +445,5 @@ class HerdCluster:
             abandoned=float(sum(c.abandoned for c in self.clients)),
             server_crashes=float(sum(s.crashes for s in self.servers)),
             server_recoveries=float(sum(s.recoveries for s in self.servers)),
+            **qos_extras,
         )

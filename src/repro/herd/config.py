@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.qos.config import QosConfig
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,11 @@ class HerdConfig:
     #: mapping; an integer switches routing to an epoch-versioned shard
     #: map distributed over the CONFIG channel (see docs/ELASTICITY.md)
     n_active_partitions: Optional[int] = None
+    #: overload protection (:class:`repro.qos.QosConfig`): admission
+    #: control, tenant quotas, RETRY_AFTER nacks.  None (the default)
+    #: disables the layer entirely — wire format, event schedule, and
+    #: fingerprints stay byte-identical to the pre-QoS build
+    qos: Optional["QosConfig"] = None
 
     def __post_init__(self) -> None:
         if self.n_server_processes < 1:
@@ -177,6 +185,30 @@ class HerdConfig:
                     "elastic mode (n_active_partitions) requires "
                     "replication_factor >= 2: live migration streams "
                     "records over the repro.ha replication mesh"
+                )
+        if self.qos is not None:
+            from repro.qos.config import QosConfig
+
+            if not isinstance(self.qos, QosConfig):
+                raise ValueError(
+                    "qos must be a repro.qos.QosConfig; got %r" % (self.qos,)
+                )
+            if self.retry_timeout_ns is None:
+                raise ValueError(
+                    "qos requires application-level retries "
+                    "(retry_timeout_ns): RETRY_AFTER nacks re-send "
+                    "through the retry path"
+                )
+            if self.replication_factor > 1:
+                raise ValueError(
+                    "qos currently supports unreplicated clusters only "
+                    "(the HA response framing already claims the status "
+                    "byte's routing)"
+                )
+            if self.request_transport != "UC":
+                raise ValueError(
+                    "qos currently supports the UC request transport "
+                    "only; got %r" % (self.request_transport,)
                 )
 
     def region_bytes(self, n_clients: int) -> int:

@@ -50,6 +50,12 @@ class RequestRegion:
             for s in range(config.n_server_processes)
         ]
         self.requests_seen = 0
+        #: QoS mode: stamp each arrival with its landing time so the
+        #: server can compute queueing sojourn (CoDel's input).  Stamped
+        #: arrivals are ``(client, window_slot, arrived_ns)`` 3-tuples —
+        #: the stamp rides *in* the queued item because ``Store.put``
+        #: hands items straight to a waiting getter, bypassing the queue
+        self.stamp_arrivals = False
 
     # -- geometry ---------------------------------------------------------
 
@@ -124,4 +130,7 @@ class RequestRegion:
     def _on_write(self, offset: int, _length: int) -> None:
         server, client, window_slot = self.locate(offset)
         self.requests_seen += 1
-        self.arrivals[server].put((client, window_slot))
+        if self.stamp_arrivals:
+            self.arrivals[server].put((client, window_slot, self.sim.now))
+        else:
+            self.arrivals[server].put((client, window_slot))

@@ -30,6 +30,7 @@ from repro.herd.region import RequestRegion
 from repro.herd.wire import (
     RESP_NOT_OWNER,
     RESP_OK,
+    RESP_RETRY_AFTER,
     RESP_STALE_EPOCH,
     encode_response,
 )
@@ -79,6 +80,12 @@ class HerdServerProcess:
         #: replication role (repro.ha.ReplicaRole) when this process
         #: serves a replicated partition; None = classic HERD
         self.ha_role = None
+        #: admission controller (repro.qos.PartitionAdmission) when the
+        #: cluster runs with overload protection; None = admit everything
+        self.admission = None
+        #: QoS response framing: every response (and nack) carries the
+        #: HA-style status byte so RESP_RETRY_AFTER has a place to live
+        self._qos_framing = config.qos is not None
         #: liveness: False between :meth:`crash` and :meth:`recover`.
         #: The request region and the MICA partition live in shared
         #: memory (HERD maps both with ``shmget``), so only the
@@ -98,6 +105,7 @@ class HerdServerProcess:
         self.crashes = 0
         self.recoveries = 0
         self.recovered_slots = 0
+        self.shed = 0
         # Observability (repro.obs)
         metrics = getattr(self.sim, "metrics", None)
         self._occupancy = None
@@ -111,6 +119,7 @@ class HerdServerProcess:
             metrics.gauge_fn(prefix + "crashes", lambda: self.crashes)
             metrics.gauge_fn(prefix + "recoveries", lambda: self.recoveries)
             metrics.gauge_fn(prefix + "recovered_slots", lambda: self.recovered_slots)
+            metrics.gauge_fn(prefix + "shed", lambda: self.shed)
             self._occupancy = metrics.histogram(prefix + "pipeline_occupancy")
 
     # ------------------------------------------------------------------
@@ -233,7 +242,9 @@ class HerdServerProcess:
     ) -> Generator[Event, None, None]:
         sim = self.sim
         p = self.profile
-        client, window_slot = item
+        # QoS-stamped arrivals are (client, window_slot, arrived_ns)
+        # 3-tuples; recovery re-scan items stay 2-tuples (sojourn 0).
+        client, window_slot = item[0], item[1]
         # Cost of the poll iteration that found the slot + decode.
         yield sim.timeout(4 * p.poll_check_ns)
         if self.epoch != epoch:
@@ -247,6 +258,15 @@ class HerdServerProcess:
             req_epoch = 0
         if op is None:
             return  # spurious wakeup: slot already consumed
+        if self.admission is not None:
+            arrived = item[2] if len(item) > 2 else sim.now
+            backlog = len(self.region.arrivals[self.index]) + len(self.pipeline)
+            verdict = self.admission.on_request(
+                client, sim.now, sim.now - arrived, backlog
+            )
+            if verdict is not None:
+                yield from self._shed(client, window_slot, req_epoch, epoch)
+                return
         if self.config.prefetch:
             # Issue the prefetch for this request's index bucket; it
             # completes while we respond to the pipeline's oldest entry.
@@ -288,7 +308,11 @@ class HerdServerProcess:
             # idempotent, so the re-scan repairs this cleanly.
             return
         payload = encode_response(op.op, value)
-        if self.config.retry_timeout_ns is not None:
+        if self._qos_framing:
+            # QoS mode borrows the HA status byte so shed nacks
+            # (RESP_RETRY_AFTER) share the framing of real responses.
+            payload = bytes([window_slot, req_epoch, RESP_OK]) + payload
+        elif self.config.retry_timeout_ns is not None:
             # Loss mode: completions can be reordered by retries, so the
             # response identifies the window slot it answers, plus the
             # request's epoch byte — a delayed duplicate must not match
@@ -304,6 +328,29 @@ class HerdServerProcess:
         self.responses += 1
         if self.completion_hook is not None:
             self.completion_hook(client, op, sim.now)
+
+    # -- overload shedding (repro.qos) ---------------------------------
+
+    def _shed(
+        self, client: int, window_slot: int, req_epoch: int, epoch: int
+    ) -> Generator[Event, None, None]:
+        """Shed one admitted-region request under overload.
+
+        ``nack`` policy answers with a prefix-only RESP_RETRY_AFTER so
+        the client backs off deliberately; ``drop`` sheds silently and
+        lets the client's retry timeout discover the loss.  Either way
+        the slot is cleared — the shed request is gone, and the
+        client's re-send lands as a fresh arrival.  Sheds are *not*
+        responses: they bypass ``completion_hook`` and the response
+        counter, so goodput accounting only sees served work.
+        """
+        self.shed += 1
+        if self.config.qos.drop_policy == "nack":
+            payload = bytes([window_slot, req_epoch, RESP_RETRY_AFTER])
+            yield from self._respond(client, payload, epoch)
+            if self.epoch != epoch:
+                return
+        self.region.clear_slot(self.index, client, window_slot)
 
     # -- replicated-partition serve path (repro.ha) --------------------
 

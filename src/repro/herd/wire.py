@@ -136,6 +136,10 @@ RESP_STALE_EPOCH = 2
 #: under an elastic resharding); the client must re-fetch the map and
 #: re-route the operation — the elastic sibling of RESP_STALE_EPOCH
 RESP_NOT_OWNER = 3
+#: the partition shed this request under overload (repro.qos admission
+#: control); the client must back off — budgeted, exponential — before
+#: re-sending, instead of hammering a saturated partition
+RESP_RETRY_AFTER = 4
 
 #: replication / control message kinds (first byte of every message)
 REP_UPDATE = 1         # primary -> backup: one sequenced PUT record

@@ -15,6 +15,9 @@ harnesses:
   born-full reference run; gates the elasticity ``tracking_ratio``
   (post-reshard tail throughput over the reference's), lost writes,
   and migration completion;
+* ``qos`` — an overload scenario (flash crowd / aggressor tenant /
+  slow client) with shedding on plus a shedding-off reference; gates
+  the in-SLO goodput floor, lost writes, and the p99.9 tail;
 * ``figure`` — a whole figure from :data:`repro.bench.figures.FIGURES`,
   flattened to one metric per ``series/x`` cell, so every existing
   figure is lab-runnable (cached, parallel, gated) without changes.
@@ -46,6 +49,7 @@ def metric_direction(name: str) -> int:
         "tracking_ratio",
         "speedup",
         "dispatch_match",
+        "goodput_ratio",
     ):
         return 1
     if short.endswith(("_us", "_ns")) or short in (
@@ -241,6 +245,46 @@ def run_elastic_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     return metrics
 
 
+def run_qos_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """One overload scenario with shedding on, priced against the same
+    crowd with shedding off.
+
+    The protected run gates the repro.qos contract — in-SLO goodput
+    floor (``goodput_ratio``), zero lost acked writes, the p99.9 tail —
+    while the unprotected reference documents the collapse admission
+    control prevents (``unprotected_ratio`` is informational: it *should*
+    be terrible for flash crowds).  For ``aggressor-tenant`` points the
+    per-tenant tails come along, pricing the isolation band.
+    """
+    from repro.faults import run_chaos
+
+    kwargs = dict(params)
+    kwargs.setdefault("seed", seed)
+    kwargs.setdefault("scenario", "flash-crowd")
+    kwargs.pop("shedding", None)
+    with obs.capture(metrics=True) as session:
+        report = run_chaos(shedding=True, **kwargs)
+        reference = run_chaos(shedding=False, **kwargs)
+    metrics = {
+        "ok": 1.0 if report.ok and reference.ok else 0.0,
+        "goodput_ratio": report.goodput_ratio,
+        "unprotected_ratio": reference.goodput_ratio,
+        "pre_burst_mops": report.pre_burst_mops,
+        "burst_mops": report.burst_mops,
+        "p999_us": report.p999_us,
+        "ops_lost": float(report.ops_lost),
+        "shed": float(report.shed),
+        "retry_after_nacks": float(report.retry_after_nacks),
+        "rejected": float(report.rejected),
+        "offered": float(report.offered),
+        "completed": float(report.completed),
+    }
+    for tenant, p99 in sorted(report.tenant_p99_us.items()):
+        metrics["tenant%d_p99_us" % tenant] = p99
+    metrics.update(_obs_metrics(session))
+    return metrics
+
+
 def run_engine_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     """Event-kernel micro-benchmark: sorted-run calendar vs the heap.
 
@@ -397,6 +441,7 @@ TASKS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, float]]] = {
     "chaos": run_chaos_task,
     "ha": run_ha_task,
     "elastic": run_elastic_task,
+    "qos": run_qos_task,
     "engine": run_engine_task,
     "figure": run_figure_task,
     "selftest": run_selftest_task,
@@ -419,6 +464,12 @@ HEADLINE_METRICS = {
         "availability",
         "ops_lost",
         "migrations_done",
+    ),
+    "qos": (
+        "ok",
+        "goodput_ratio",
+        "ops_lost",
+        "p999_us",
     ),
     "engine": ("speedup", "dispatch_match"),
     "figure": None,  # None = every figure cell is a headline metric

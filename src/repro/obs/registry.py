@@ -113,6 +113,7 @@ class LogHistogram:
             "max": self.max if self.count else 0.0,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
             # upper bound -> count, in ascending bucket order
             "buckets": [
                 {"le": float(2 ** index), "count": self.buckets[index]}

@@ -1,0 +1,18 @@
+"""repro.qos — overload protection for the HERD reproduction.
+
+The paper keeps the server CPU the bottleneck (Section 4), which makes
+overload the system's natural failure mode.  This package supplies the
+defense: SLO-aware admission control (bounded queues + CoDel sojourn
+control), per-tenant isolation (token-bucket quotas + weighted fair
+admission over a bounded QP pool), and graceful degradation via
+``RESP_RETRY_AFTER`` nacks that clients honor with budgeted backoff.
+
+Attach a :class:`QosConfig` to :class:`repro.herd.config.HerdConfig`
+(``qos=...``); everything is off — and byte-identical to the
+pre-QoS build — when the field is left at ``None``.  See docs/QOS.md.
+"""
+
+from repro.qos.admission import PartitionAdmission, QosRuntime, TokenBucket
+from repro.qos.config import QosConfig
+
+__all__ = ["QosConfig", "QosRuntime", "PartitionAdmission", "TokenBucket"]

@@ -48,9 +48,16 @@ class LatencyRecorder:
         return float(np.percentile(self.samples, q))
 
     def summary(self) -> dict:
-        """Mean / p5 / p50 / p95 / p99 in microseconds."""
+        """Mean / p5 / p50 / p95 / p99 / p99.9 in microseconds."""
         if not self.samples:
-            return {"mean_us": 0.0, "p5_us": 0.0, "p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
+            return {
+                "mean_us": 0.0,
+                "p5_us": 0.0,
+                "p50_us": 0.0,
+                "p95_us": 0.0,
+                "p99_us": 0.0,
+                "p999_us": 0.0,
+            }
         arr = np.asarray(self.samples)
         return {
             "mean_us": float(arr.mean()) / 1e3,
@@ -58,6 +65,7 @@ class LatencyRecorder:
             "p50_us": float(np.percentile(arr, 50)) / 1e3,
             "p95_us": float(np.percentile(arr, 95)) / 1e3,
             "p99_us": float(np.percentile(arr, 99)) / 1e3,
+            "p999_us": float(np.percentile(arr, 99.9)) / 1e3,
         }
 
 

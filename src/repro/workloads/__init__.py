@@ -10,9 +10,32 @@ parameter 0.99, generated with YCSB's Zipfian generator).
   items are spread across the keyhash space.
 * :class:`Workload` / :class:`WorkloadStream` — per-client operation
   streams of (GET/PUT, keyhash, value) tuples.
+* :mod:`repro.workloads.arrival` — open-loop arrival processes
+  (Poisson, diurnal, flash-crowd, stalled clients) and the hot-key
+  shift wrapper, for overload experiments (see docs/QOS.md).
 """
 
+from repro.workloads.arrival import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    HotKeyShiftStream,
+    PoissonArrivals,
+    StalledArrivals,
+)
 from repro.workloads.ycsb import Operation, OpType, Workload, WorkloadStream
 from repro.workloads.zipf import ZipfianGenerator
 
-__all__ = ["Operation", "OpType", "Workload", "WorkloadStream", "ZipfianGenerator"]
+__all__ = [
+    "Operation",
+    "OpType",
+    "Workload",
+    "WorkloadStream",
+    "ZipfianGenerator",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "FlashCrowdArrivals",
+    "DiurnalArrivals",
+    "StalledArrivals",
+    "HotKeyShiftStream",
+]

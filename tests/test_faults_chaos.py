@@ -87,6 +87,7 @@ def test_outcome_table_aligns_columns():
             "ops_acked": 930,
             "ops_lost": 0,
             "availability": 0.9907,
+            "p999_us": 42.7,
             "checker": "linearizable",
             "verdict": "OK",
         },
@@ -96,6 +97,7 @@ def test_outcome_table_aligns_columns():
             "ops_acked": 12,
             "ops_lost": 3,
             "availability": 1.0,
+            "p999_us": 3.1,
             "checker": "n/a",
             "verdict": "FAILED",
         },
@@ -104,7 +106,8 @@ def test_outcome_table_aligns_columns():
     lines = table.splitlines()
     assert len(lines) == 3
     assert lines[0].split() == [
-        "scenario", "seed", "acked", "lost", "availability", "checker", "verdict",
+        "scenario", "seed", "acked", "lost", "availability", "p99.9_us",
+        "checker", "verdict",
     ]
     # every row puts the verdict in the same column
     col = lines[0].index("verdict")

@@ -312,6 +312,49 @@ def test_duplication_never_completes_an_op_twice():
         assert client.completed + client.outstanding + client.abandoned == client.issued
 
 
+def test_multi_burst_rnr_keeps_recv_accounting_balanced():
+    """Repeated RECV-exhaustion bursts at the clients must not leak or
+    strand RECVs.
+
+    An RNR drop discards the server's response SEND *without* consuming
+    the client's posted RECV, so the retry path re-WRITEs the request
+    while the original RECV is still outstanding — the redelivered
+    response must land in a rotation-allocated slot and the
+    posted-RECV-per-pending-op invariant must survive arbitrarily many
+    bursts (a single-window version of this shipped with the RNR rule;
+    the multi-burst variant catches state that only corrupts when the
+    window *re-opens* after recovery).
+    """
+    cluster = HerdCluster(
+        HerdConfig(n_server_processes=2, window=2, retry_timeout_ns=40_000.0),
+        n_client_machines=2,
+        seed=31,
+    )
+    cluster.add_clients(4, Workload(get_fraction=0.5, value_size=32, n_keys=256))
+    cluster.preload(range(256), 32)
+    plan = FaultPlan(seed=31)
+    # three separate exhaustion bursts on each client machine, with
+    # recovery gaps between them
+    for machine in ("cm0", "cm1"):
+        plan.rnr(machine, rate=0.8, start_ns=50_000.0, end_ns=90_000.0)
+        plan.rnr(machine, rate=0.8, start_ns=150_000.0, end_ns=190_000.0)
+        plan.rnr(machine, rate=0.8, start_ns=250_000.0, end_ns=290_000.0)
+    cluster.install_faults(plan)
+    result = cluster.run(warmup_ns=0, measure_ns=400_000)
+    assert cluster.injector.counts.get("rnr_drop", 0) > 0
+    # the cluster still makes progress through the bursts...
+    assert result.ops > 200
+    assert sum(c.failures for c in cluster.clients) == 0
+    for client in cluster.clients:
+        # ...the op accounting identity holds...
+        assert client.completed + client.outstanding + client.abandoned == client.issued
+        # ...and no RECV was leaked or stranded by any burst
+        for s in range(cluster.config.n_server_processes):
+            assert len(client._recv_order[s]) == len(client._pending[s]) + len(
+                client._quarantined[s]
+            )
+
+
 # ---------------------------------------------------------------------------
 # Overlapping fault windows
 # ---------------------------------------------------------------------------

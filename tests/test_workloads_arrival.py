@@ -1,0 +1,207 @@
+"""Tests for the open-loop arrival processes (repro.workloads.arrival)."""
+
+import math
+
+import pytest
+
+from repro.faults.rng import child_rng
+from repro.workloads import (
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    HotKeyShiftStream,
+    PoissonArrivals,
+    StalledArrivals,
+    Workload,
+)
+from repro.workloads.ycsb import OpType, keyhash
+
+
+# ---------------------------------------------------------------------------
+# Poisson
+# ---------------------------------------------------------------------------
+
+
+def test_poisson_gaps_match_rate():
+    """Mean inter-arrival gap converges on 1000/rate ns."""
+    arrivals = PoissonArrivals(2.0, child_rng(7, "arrival"))
+    gaps = [arrivals.next_gap_ns(0.0) for _ in range(20_000)]
+    mean = sum(gaps) / len(gaps)
+    assert mean == pytest.approx(500.0, rel=0.05)
+    assert all(g >= 0.0 for g in gaps)
+
+
+def test_poisson_deterministic_per_child_stream():
+    a = PoissonArrivals(1.0, child_rng(3, "c0"))
+    b = PoissonArrivals(1.0, child_rng(3, "c0"))
+    other = PoissonArrivals(1.0, child_rng(3, "c1"))
+    seq_a = [a.next_gap_ns(0.0) for _ in range(32)]
+    seq_b = [b.next_gap_ns(0.0) for _ in range(32)]
+    seq_other = [other.next_gap_ns(0.0) for _ in range(32)]
+    assert seq_a == seq_b
+    assert seq_a != seq_other
+
+
+def test_poisson_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0.0, child_rng(0, "x"))
+
+
+# ---------------------------------------------------------------------------
+# flash crowd
+# ---------------------------------------------------------------------------
+
+
+def test_flash_crowd_steps_rate_inside_window():
+    arrivals = FlashCrowdArrivals(
+        1.0,
+        child_rng(5, "fc"),
+        burst_factor=10.0,
+        burst_start_ns=1_000.0,
+        burst_end_ns=2_000.0,
+    )
+    assert arrivals.rate_at(0.0) == 1.0
+    assert arrivals.rate_at(1_000.0) == 10.0  # half-open: start included
+    assert arrivals.rate_at(1_999.0) == 10.0
+    assert arrivals.rate_at(2_000.0) == 1.0  # end excluded
+    # gaps drawn inside the burst are ~10x shorter on average
+    inside = [arrivals.next_gap_ns(1_500.0) for _ in range(5_000)]
+    outside = [arrivals.next_gap_ns(0.0) for _ in range(5_000)]
+    ratio = (sum(outside) / len(outside)) / (sum(inside) / len(inside))
+    assert ratio == pytest.approx(10.0, rel=0.15)
+
+
+def test_flash_crowd_rejects_bad_window():
+    with pytest.raises(ValueError):
+        FlashCrowdArrivals(1.0, child_rng(0, "x"), burst_factor=0.0)
+    with pytest.raises(ValueError):
+        FlashCrowdArrivals(
+            1.0, child_rng(0, "x"), burst_start_ns=2.0, burst_end_ns=1.0
+        )
+
+
+# ---------------------------------------------------------------------------
+# diurnal
+# ---------------------------------------------------------------------------
+
+
+def test_diurnal_rate_is_sinusoidal():
+    arrivals = DiurnalArrivals(
+        2.0, child_rng(1, "d"), amplitude=0.5, period_ns=1_000.0
+    )
+    assert arrivals.rate_at(0.0) == pytest.approx(2.0)
+    assert arrivals.rate_at(250.0) == pytest.approx(3.0)  # peak at T/4
+    assert arrivals.rate_at(750.0) == pytest.approx(1.0)  # trough at 3T/4
+    # amplitude < 1 keeps the rate strictly positive everywhere
+    assert min(arrivals.rate_at(t) for t in range(0, 1000, 10)) > 0.0
+
+
+def test_diurnal_rejects_bad_amplitude():
+    with pytest.raises(ValueError):
+        DiurnalArrivals(1.0, child_rng(0, "x"), amplitude=1.0)
+    with pytest.raises(ValueError):
+        DiurnalArrivals(1.0, child_rng(0, "x"), period_ns=0.0)
+
+
+# ---------------------------------------------------------------------------
+# stalled client
+# ---------------------------------------------------------------------------
+
+
+def test_stalled_client_releases_backlog_as_burst():
+    inner = PoissonArrivals(1.0, child_rng(9, "s"))
+    arrivals = StalledArrivals(
+        inner, stall_start_ns=1_000.0, stall_end_ns=10_000.0, flush_gap_ns=50.0
+    )
+    assert arrivals.rate_at(5_000.0) == 0.0  # silent during the stall
+    assert arrivals.rate_at(500.0) == 1.0
+    # walk arrivals from t=0; none may land inside the stall window
+    now, stamps = 0.0, []
+    for _ in range(64):
+        now += arrivals.next_gap_ns(now)
+        stamps.append(now)
+    assert all(not (1_000.0 <= t < 10_000.0) for t in stamps)
+    # the backlog (~9 us of 1 op/us arrivals) flushes at flush_gap pacing
+    release = [t for t in stamps if 10_000.0 <= t < 11_000.0]
+    assert len(release) >= 5
+    gaps = [b - a for a, b in zip(release, release[1:])]
+    assert all(g == pytest.approx(50.0) for g in gaps)
+
+
+def test_stalled_rejects_bad_window():
+    inner = PoissonArrivals(1.0, child_rng(0, "x"))
+    with pytest.raises(ValueError):
+        StalledArrivals(inner, stall_start_ns=2.0, stall_end_ns=1.0)
+    with pytest.raises(ValueError):
+        StalledArrivals(inner, 0.0, 1.0, flush_gap_ns=0.0)
+
+
+# ---------------------------------------------------------------------------
+# hot-key shift
+# ---------------------------------------------------------------------------
+
+
+def _stream(seed):
+    workload = Workload(n_keys=1024, value_size=32, get_fraction=0.5)
+    return workload.stream(seed)
+
+
+def test_hot_key_shift_redirects_after_trigger():
+    hot = [1, 2, 3]
+    shifted = HotKeyShiftStream(
+        _stream(4), hot, hot_fraction=1.0, rng=child_rng(4, "hot"),
+        shift_after=100,
+    )
+    # the trigger compares generated *after* the draw, so the 100th op
+    # (inner.generated == 100) is the first shifted one
+    before = [shifted.next_op() for _ in range(99)]
+    after = [shifted.next_op() for _ in range(200)]
+    hot_keys = {keyhash(i) for i in hot}
+    assert not all(op.key in hot_keys for op in before)
+    assert all(op.key in hot_keys for op in after)
+    assert shifted.redirected == 200
+    # redirected PUTs still carry well-formed values for store checks
+    puts = [op for op in after if op.op is OpType.PUT]
+    assert puts and all(len(op.value) == 32 for op in puts)
+
+
+def test_hot_key_shift_does_not_perturb_inner_stream():
+    """The redirect RNG is private: the inner op sequence is the trace
+    an unwrapped stream would produce."""
+    inner = _stream(8)
+    plain = [inner.next_op() for _ in range(300)]
+    shifted = HotKeyShiftStream(
+        _stream(8), [5], hot_fraction=0.5, rng=child_rng(8, "hot"),
+        shift_after=0,
+    )
+    wrapped = [shifted.next_op() for _ in range(300)]
+    hot_key = keyhash(5)
+    # every non-redirected op matches the plain trace position-for-position
+    mismatches = [
+        i for i, (a, b) in enumerate(zip(plain, wrapped))
+        if b.key != hot_key and (a.op, a.key) != (b.op, b.key)
+    ]
+    assert mismatches == []
+    assert 0 < shifted.redirected < 300
+
+
+def test_hot_key_shift_time_trigger_requires_clock():
+    with pytest.raises(ValueError):
+        HotKeyShiftStream(
+            _stream(1), [1], 0.5, child_rng(1, "h"), shift_ns=100.0
+        )
+    clock = [0.0]
+    shifted = HotKeyShiftStream(
+        _stream(1), [1], 1.0, child_rng(1, "h"),
+        shift_ns=100.0, clock=lambda: clock[0],
+    )
+    shifted.next_op()
+    assert shifted.redirected == 0
+    clock[0] = 100.0
+    shifted.next_op()
+    assert shifted.redirected == 1
+
+def test_hot_key_shift_validates_args():
+    with pytest.raises(ValueError):
+        HotKeyShiftStream(_stream(1), [], 0.5, child_rng(1, "h"))
+    with pytest.raises(ValueError):
+        HotKeyShiftStream(_stream(1), [1], 1.5, child_rng(1, "h"))
