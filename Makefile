@@ -1,6 +1,6 @@
 # Convenience targets for the HERD reproduction.
 
-.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke elastic-smoke engine-smoke qos-smoke clean
+.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke elastic-smoke engine-smoke qos-smoke txn-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -132,6 +132,52 @@ engine-smoke:
 	python -m repro.lab.cli run engine --workers 1 --timeout 600
 	python -m repro.lab.cli gate engine \
 		--baseline benchmarks/baselines/engine.json
+
+# Multi-key transactions, both commit dataplanes (docs/TXN.md): every
+# run must pass the strict-serializability checker with zero torn
+# writes and a reproducible fingerprint; the contention sweep must
+# reproduce the RPC-vs-one-sided crossover; a crash-paused partition
+# must tear nothing while one-sided commits keep landing (CPU bypass);
+# the remote FIFO queue must conserve items on all three designs.
+# Then the txn sweep is gated against its committed baseline, folding
+# into BENCH_lab.json.
+txn-smoke:
+	python -c "from repro.bench.figures import run_txn; \
+		a = run_txn(dataplane='rpc', seed=7); b = run_txn(dataplane='rpc', seed=7); \
+		c = run_txn(dataplane='onesided', seed=7); d = run_txn(dataplane='onesided', seed=7); \
+		assert a.ok and c.ok, (a.violation, c.violation); \
+		assert a.fingerprint == b.fingerprint, 'rpc nondeterministic'; \
+		assert c.fingerprint == d.fingerprint, 'onesided nondeterministic'; \
+		print('txn-smoke dataplanes ok:'); print(' ', a.summary()); print(' ', c.summary())"
+	python -c "from repro.bench.figures import run_txn; \
+		cold_rpc = run_txn(dataplane='rpc', hot_fraction=0.0); \
+		cold_one = run_txn(dataplane='onesided', hot_fraction=0.0); \
+		hot_rpc = run_txn(dataplane='rpc', hot_fraction=0.9); \
+		hot_one = run_txn(dataplane='onesided', hot_fraction=0.9); \
+		assert all(r.ok for r in (cold_rpc, cold_one, hot_rpc, hot_one)); \
+		assert cold_one.result.mops > cold_rpc.result.mops, 'no uncontended one-sided win'; \
+		assert hot_rpc.result.mops > 2 * hot_one.result.mops, 'no contended RPC win'; \
+		print('txn-smoke crossover ok: cold %.2f < %.2f, hot %.2f > %.2f Mops' \
+		% (cold_rpc.result.mops, cold_one.result.mops, \
+		hot_rpc.result.mops, hot_one.result.mops))"
+	python -c "from repro.txn import TxnCluster, TxnConfig; \
+		crash = (0, 40000.0, 60000.0); \
+		rpc = TxnCluster(TxnConfig(dataplane='rpc', crash=crash), n_clients=8, seed=3).run(); \
+		one = TxnCluster(TxnConfig(dataplane='onesided', crash=crash), n_clients=8, seed=3).run(); \
+		assert rpc.ok and rpc.torn_writes == 0, (rpc.violation, rpc.torn_writes); \
+		assert one.ok and one.commits_in_outage > 0, 'no CPU-bypass progress'; \
+		print('txn-smoke crash ok: commits in outage rpc=%d onesided=%d, zero torn' \
+		% (rpc.commits_in_outage, one.commits_in_outage))"
+	python -c "from repro.txn import TxnQueueCluster, QueueConfig; \
+		r = TxnQueueCluster(QueueConfig(dataplane='rpc')).run(); \
+		c = TxnQueueCluster(QueueConfig(dataplane='onesided', ticket_mode='cas')).run(); \
+		f = TxnQueueCluster(QueueConfig(dataplane='onesided', ticket_mode='faa')).run(); \
+		assert r.ok and c.ok and f.ok, (r.violations, c.violations, f.violations); \
+		assert f.enq_retries == 0 and c.enq_retries > 0, 'FAA/CAS retry contrast missing'; \
+		print(r.summary()); print(c.summary()); print(f.summary())"
+	python -m repro.lab.cli run txn --workers 2 --timeout 600
+	python -m repro.lab.cli gate txn \
+		--baseline benchmarks/baselines/txn.json
 
 # The lab gate, end to end: a 4-point parallel sweep lands in the
 # result store, a re-run must be served entirely from cache, the

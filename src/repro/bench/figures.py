@@ -30,6 +30,7 @@ from repro.bench.report import FigureData, Series, format_matrix
 from repro.bench.result import RunResult
 from repro.herd import HerdCluster, HerdConfig
 from repro.hw import APT, SUSITNA, HardwareProfile
+from repro.txn import QueueConfig, TxnCluster, TxnConfig, TxnQueueCluster, TxnReport
 from repro.verbs import Opcode, Transport, transport_supports
 from repro.workloads import Workload
 
@@ -116,6 +117,40 @@ def run_farm(
         profile=profile,
         n_clients=n_clients,
     ).run(measure_ns=measure_ns)
+
+
+def run_txn(
+    dataplane: str = "rpc",
+    profile: HardwareProfile = APT,
+    n_clients: int = 24,
+    n_client_machines: int = 6,
+    n_partitions: int = 2,
+    n_keys: int = 512,
+    hot_fraction: float = 0.0,
+    read_only_fraction: float = 0.5,
+    measure_ns: float = 150_000.0,
+    seed: int = 0,
+) -> TxnReport:
+    """One repro.txn measurement cell: commit throughput plus the audit.
+
+    Raises ``ValueError`` (listing the valid choices) on an unknown
+    ``dataplane`` — the same contract the lab axes rely on.
+    """
+    config = TxnConfig(
+        dataplane=dataplane,
+        n_partitions=n_partitions,
+        n_keys=n_keys,
+        hot_fraction=hot_fraction,
+        read_only_fraction=read_only_fraction,
+    )
+    cluster = TxnCluster(
+        config,
+        profile=profile,
+        n_clients=n_clients,
+        n_client_machines=n_client_machines,
+        seed=seed,
+    )
+    return cluster.run(measure_ns=measure_ns)
 
 
 _SYSTEMS = {
@@ -480,6 +515,75 @@ def fig14(scale: str = "bench") -> FigureData:
     )
 
 
+def figtxn(scale: str = "bench") -> FigureData:
+    """Multi-key txn commit throughput: RPC vs one-sided vs contention.
+
+    The transactional sequel to the paper's HERD-vs-Pilaf/FaRM
+    comparison: the same RPC-vs-one-sided design axis, but for commits.
+    Each cell's history passes the strict-serializability checker; a
+    violation raises instead of plotting a wrong number.
+    """
+    hots = [0.0, 0.6, 0.9] if scale == "bench" else [0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9]
+    measure = 120_000.0 if scale == "bench" else 200_000.0
+    series = []
+    notes = []
+    for dataplane, label in (("rpc", "RPC (2PC)"), ("onesided", "one-sided (CAS)")):
+        pts = []
+        aborts = []
+        for hot in hots:
+            report = run_txn(dataplane=dataplane, hot_fraction=hot, measure_ns=measure)
+            if not report.ok:
+                raise RuntimeError(
+                    "txn audit failed for %s@hot=%.2f: %s"
+                    % (dataplane, hot, report.violation or "torn writes")
+                )
+            pts.append((hot, report.result.mops))
+            aborts.append(report.abort_rate)
+        series.append(Series(label, pts))
+        notes.append(
+            "%s abort rate: %s" % (label, ", ".join("%.2f" % a for a in aborts))
+        )
+    notes.append("every cell checker-verified strictly serializable")
+    notes.append("hot keys share one partition: RPC one-shots them, CAS retries")
+    return FigureData(
+        "figtxn", "Txn commit throughput vs contention", "hot fraction",
+        "commit Mops", series, notes=notes,
+    )
+
+
+def figtxnq(scale: str = "bench") -> FigureData:
+    """Remote FIFO queue: server RPC vs one-sided CAS/FAA tickets.
+
+    The 'remote data structure' half of the txn subsystem.  One-sided
+    ops spend multiple RTTs and contended CAS retries; the FAA mode
+    shows a fetch-style primitive never losing the ticket race.
+    """
+    ops = 40 if scale == "bench" else 120
+    series_pts = []
+    notes = []
+    for dataplane, mode, label in (
+        ("rpc", "cas", "RPC"),
+        ("onesided", "cas", "one-sided CAS"),
+        ("onesided", "faa", "one-sided FAA"),
+    ):
+        report = TxnQueueCluster(
+            QueueConfig(dataplane=dataplane, ticket_mode=mode, ops_per_client=ops),
+            seed=0,
+        ).run()
+        if not report.ok:
+            raise RuntimeError("queue audit failed: %s" % report.violations)
+        series_pts.append((label, report.result.mops))
+        notes.append(
+            "%s: %d enq / %d deq, ticket retries %d+%d"
+            % (label, report.enqueued, report.dequeued,
+               report.enq_retries, report.deq_retries)
+        )
+    return FigureData(
+        "figtxnq", "Remote FIFO queue throughput by dataplane", "design",
+        "Mops", [Series("queue ops", series_pts)], notes=notes,
+    )
+
+
 #: every reproducible experiment, for the CLI
 FIGURES = {
     "fig2": fig2,
@@ -494,6 +598,8 @@ FIGURES = {
     "fig12": fig12,
     "fig13": fig13,
     "fig14": fig14,
+    "figtxn": figtxn,
+    "figtxnq": figtxnq,
 }
 
 def fig1() -> str:

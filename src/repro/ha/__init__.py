@@ -10,7 +10,9 @@ Layers (see docs/HA.md for the full design):
 * :mod:`repro.ha.failover` — the client's per-partition replica map;
 * :mod:`repro.ha.checker` — per-key Wing–Gong linearizability checking
   plus the global HA invariants (no acked write lost, no split-brain
-  acks, monotonic backup high-water marks).
+  acks, monotonic backup high-water marks), and the multi-key
+  strict-serializability checker :func:`check_serializable` that
+  repro.txn runs over its transaction histories.
 
 Everything activates only when ``HerdConfig.replication_factor > 1``;
 an unreplicated cluster builds no HA machinery at all, so the classic
@@ -19,8 +21,11 @@ simulation stays event-for-event identical.
 
 from repro.ha.checker import (
     HaOp,
+    TxnRecord,
     check_histories,
     check_key,
+    check_serializable,
+    final_read_txn,
     lost_acked_writes,
     split_brain,
 )
@@ -30,8 +35,11 @@ from repro.ha.replication import HaNode, InflightUpdate, PartitionGroup, Replica
 
 __all__ = [
     "HaOp",
+    "TxnRecord",
     "check_histories",
     "check_key",
+    "check_serializable",
+    "final_read_txn",
     "lost_acked_writes",
     "split_brain",
     "LeaseMonitor",

@@ -50,6 +50,14 @@ class HardwareProfile:
     dma_write_ns: float = 15.0
     #: DMA write: extra pipeline latency
     dma_write_latency_ns: float = 50.0
+    #: atomic read-modify-write: extra *locked* occupancy beyond the
+    #: read and write-back.  ConnectX NICs serialise IB atomics with an
+    #: internal lock that stalls the DMA engine for the whole PCIe
+    #: round trip, which is why CmpSwap/FetchAdd run an order of
+    #: magnitude slower than READs (~2.7 Mops on ConnectX-3 vs 26 Mops;
+    #: Kalia et al., "Design Guidelines", and Section 3.2.2's PCIe
+    #: argument).  25 + 330 + 15 + payload => ~372 ns per atomic.
+    pcie_atomic_ns: float = 330.0
     #: PCIe data bandwidth, bytes/ns (PCIe 3.0 x8 ~= 7.88)
     pcie_bw: float = 7.88
     cacheline_bytes: int = 64
@@ -62,6 +70,7 @@ class HardwareProfile:
     nic_ingress_send_ns: float = 44.0   # inbound SEND + RECV match: 21 Mops end to end
     nic_ingress_resp_ns: float = 20.0   # READ response / ACK bookkeeping
     nic_ingress_ack_ns: float = 10.0    # pure ACK (RC) processing
+    nic_ingress_atomic_ns: float = 40.0  # inbound CmpSwap/FetchAdd decode
     #: DMA-read transactions needed to egress a non-inlined payload
     #: (WQE fetch + payload fetch).  This base cost vs PIO's
     #: per-cacheline cost places the inline/DMA crossover between 144
@@ -75,6 +84,7 @@ class HardwareProfile:
     wqe_av_bytes: int = 48          # UD address vector segment
     wqe_data_ptr_bytes: int = 16    # scatter/gather pointer (non-inline)
     wqe_inline_hdr_bytes: int = 4   # inline data header
+    wqe_atomic_bytes: int = 16      # atomic segment (compare/swap operands)
     #: receive buffers for UD leave room for a 40-byte GRH
     grh_bytes: int = 40
 

@@ -20,6 +20,8 @@ overlapped across transactions).
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.sim import Event, FifoServer, Simulator
 from repro.hw.params import HardwareProfile
 
@@ -74,4 +76,39 @@ class PcieBus:
         served.add_callback(
             lambda _e: self.sim.call_in(p.dma_write_latency_ns, done.succeed)
         )
+        return done
+
+    def dma_atomic(self, on_locked: Optional[Callable[[], None]] = None) -> Event:
+        """A locked read-modify-write for a remote atomic (CmpSwap/FetchAdd).
+
+        ConnectX NICs implement IB atomics as a non-posted read plus a
+        posted write-back issued under an internal lock that stalls the
+        DMA engine for the whole round trip — which is what makes
+        atomics an order of magnitude slower than READs and, crucially,
+        *serialised per device*: the single ``dma`` FifoServer never
+        overlaps two occupancy periods, so two concurrent atomics
+        targeting this host execute one after the other.
+
+        ``on_locked`` runs exactly at the end of the occupancy period —
+        the serialisation point — so the caller's memory mutation is
+        atomic with respect to every other atomic on this bus.  The
+        returned event fires after the pipeline latency, when the
+        original value is available to send back.
+        """
+        p = self.profile
+        occupancy = (
+            p.dma_read_ns
+            + p.pcie_atomic_ns
+            + p.dma_write_ns
+            + 16 / p.pcie_bw  # one quadword each way
+        )
+        done = self.sim.event()
+        served = self.dma.serve(occupancy)
+
+        def _unlocked(_e: Event) -> None:
+            if on_locked is not None:
+                on_locked()
+            self.sim.call_in(p.dma_read_latency_ns, done.succeed)
+
+        served.add_callback(_unlocked)
         return done

@@ -329,6 +329,28 @@ def _engine() -> SweepSpec:
     )
 
 
+def _txn() -> SweepSpec:
+    return SweepSpec(
+        name="txn",
+        task="txn",
+        base=dict(
+            n_clients=24,
+            n_client_machines=6,
+            n_keys=512,
+            read_only_fraction=0.5,
+            measure_ns=150_000.0,
+        ),
+        axes=[
+            Axis("dataplane", ["rpc", "onesided"]),
+            Axis("hot_fraction", [0.0, 0.3, 0.6, 0.9]),
+        ],
+        description="multi-key transactions, RPC vs one-sided commit: every "
+        "cell must stay strictly serializable with zero torn writes while "
+        "the contention sweep reproduces the crossover (one-sided wins "
+        "uncontended, server-mediated 2PC wins hot)",
+    )
+
+
 def _figures() -> SweepSpec:
     return SweepSpec(
         name="figures",
@@ -349,6 +371,7 @@ BUILTIN_SPECS = {
     "ha-failover": _ha_failover,
     "elasticity": _elasticity,
     "overload": _overload,
+    "txn": _txn,
     "engine": _engine,
     "figures": _figures,
 }

@@ -45,6 +45,7 @@ def metric_direction(name: str) -> int:
     short = name.rsplit("/", 1)[-1]
     if short in HIGHER_IS_BETTER or short in (
         "availability",
+        "commits",
         "ops_acked",
         "tracking_ratio",
         "speedup",
@@ -54,6 +55,8 @@ def metric_direction(name: str) -> int:
         return 1
     if short.endswith(("_us", "_ns")) or short in (
         "retries",
+        "abort_rate",
+        "torn_writes",
         "abandoned",
         "violations",
         "ops_lost",
@@ -285,6 +288,36 @@ def run_qos_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     return metrics
 
 
+def run_txn_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """One repro.txn measurement cell, audit folded into ``ok``.
+
+    ``ok`` is 1.0 only when the run's history passed the strict-
+    serializability checker *and* the final store scan found zero torn
+    writes — a faster commit path that corrupts data must read as a
+    regression, not an improvement.  The throughput/abort metrics then
+    price the RPC-vs-one-sided crossover the spec sweeps.
+    """
+    from repro.bench.figures import run_txn
+
+    kwargs = dict(params)
+    kwargs.setdefault("seed", seed)
+    with obs.capture(metrics=True) as session:
+        report = run_txn(**kwargs)
+    metrics = {
+        "ok": 1.0 if report.ok else 0.0,
+        "mops": report.result.mops,
+        "commits": float(report.commits),
+        "aborts": float(report.aborts),
+        "abort_rate": report.abort_rate,
+        "torn_writes": float(report.torn_writes),
+        "retries": float(report.retries),
+        "p50_us": report.result.latency.get("p50_us", 0.0),
+        "p99_us": report.result.latency.get("p99_us", 0.0),
+    }
+    metrics.update(_obs_metrics(session))
+    return metrics
+
+
 def run_engine_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     """Event-kernel micro-benchmark: sorted-run calendar vs the heap.
 
@@ -442,6 +475,7 @@ TASKS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, float]]] = {
     "ha": run_ha_task,
     "elastic": run_elastic_task,
     "qos": run_qos_task,
+    "txn": run_txn_task,
     "engine": run_engine_task,
     "figure": run_figure_task,
     "selftest": run_selftest_task,
@@ -471,6 +505,7 @@ HEADLINE_METRICS = {
         "ops_lost",
         "p999_us",
     ),
+    "txn": ("ok", "mops", "abort_rate", "p99_us"),
     "engine": ("speedup", "dispatch_match"),
     "figure": None,  # None = every figure cell is a headline metric
     "selftest": ("mops", "value"),

@@ -14,9 +14,13 @@ instrumentation:
 * ``store.<name>.depth_hwm`` — mailbox depth high-water marks;
 * ``qpcache.<machine>.*`` — context-cache hits/misses/evictions;
 * ``verbs.<machine>.*`` — WQEs posted by verb and transport, inline vs
-  DMA payloads, CQE DMA writes;
+  DMA payloads, CQE DMA writes; ``verbs.<machine>.atomics`` counts
+  remote read-modify-writes (CmpSwap/FetchAdd) served by the machine;
 * ``herd.server<i>.*`` / ``herd.client<i>.*`` — op counters, pipeline
-  occupancy, response-latency histograms.
+  occupancy, response-latency histograms;
+* ``txn.commits`` / ``txn.aborts`` — multi-key transaction outcomes
+  recorded by :meth:`repro.txn.cluster.TxnCluster.run`, either
+  dataplane.
 """
 
 from __future__ import annotations

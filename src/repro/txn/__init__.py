@@ -1,0 +1,40 @@
+"""repro.txn — multi-key transactions over the partitioned KV, two ways.
+
+The paper's thesis is that RPC beats one-sided READs for a *key-value*
+service because a GET needs multiple READs.  Transactions sharpen the
+same contrast: an update transaction needs lock + validate + install
+round trips on the one-sided dataplane, versus one or two
+server-mediated RPCs — but the one-sided dataplane never spends a
+server CPU cycle and keeps committing while a participant is down.
+
+* :class:`TxnCluster` / :class:`TxnConfig` — the transaction system on
+  either commit dataplane (``"rpc"`` | ``"onesided"``).
+* :class:`TxnReport` — throughput + the serializability/torn-write
+  audits and a determinism fingerprint.
+* :class:`TxnQueueCluster` / :class:`QueueConfig` — a remote FIFO
+  queue built both ways (CAS/FAA tickets vs server-side deque).
+* :mod:`repro.txn.wire`, :mod:`repro.txn.store` — shared formats.
+
+See docs/TXN.md for the design and the crossover figure.
+"""
+
+from repro.txn.cluster import DATAPLANES, TxnCluster, TxnConfig, TxnReport
+from repro.txn.client import TxnClientProcess, make_value, parse_value
+from repro.txn.queue import QueueConfig, QueueReport, TxnQueueCluster
+from repro.txn.server import TxnServerProcess
+from repro.txn.store import TxnPartitionStore
+
+__all__ = [
+    "DATAPLANES",
+    "TxnCluster",
+    "TxnConfig",
+    "TxnReport",
+    "TxnClientProcess",
+    "TxnServerProcess",
+    "TxnPartitionStore",
+    "TxnQueueCluster",
+    "QueueConfig",
+    "QueueReport",
+    "make_value",
+    "parse_value",
+]

@@ -1,0 +1,347 @@
+"""The transaction cluster: both dataplanes over one partitioned store.
+
+One server machine hosts ``n_partitions`` partition stores and (for the
+RPC dataplane) one :class:`~repro.txn.server.TxnServerProcess` per
+partition.  Clients on separate machines run closed-loop multi-key
+transactions through the dataplane named by ``TxnConfig.dataplane``:
+
+* ``"rpc"`` — HERD-style server-mediated two-phase commit (UC request
+  WRITEs in, UD SEND responses out, ``TXN_ONE`` one-shots for
+  single-partition updates);
+* ``"onesided"`` — client-driven lock/validate/install over RC verbs,
+  locking with ``ATOMIC_CMP_AND_SWP`` and never involving a server CPU.
+
+:meth:`TxnCluster.run` returns a :class:`TxnReport` that bundles the
+usual throughput/latency result with the correctness audits the ISSUE
+demands: the Wing–Gong serializability check over the full recorded
+history (with the final store state as a synthetic read), a torn-write
+audit that attributes every final byte to a committed transaction, and
+a determinism fingerprint over the committed history + final state.
+
+The optional crash arm pauses one participant process mid-run (HERD
+pause model: memory survives).  On the RPC dataplane clients ride it
+out with idempotent retries; on the one-sided dataplane commits keep
+flowing because the dataplane never needed that CPU — the
+``commits_in_outage`` field makes the contrast measurable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.result import RunResult, collect
+from repro.faults.rng import child_rng
+from repro.ha.checker import TxnRecord, check_serializable
+from repro.hw import APT, Fabric, HardwareProfile, Machine
+from repro.sim import LatencyRecorder, RateMeter, Simulator
+from repro.txn.client import TxnClientProcess, parse_value
+from repro.txn.server import TxnServerProcess
+from repro.txn.store import TxnPartitionStore
+from repro.verbs import RdmaDevice, Transport
+
+DATAPLANES = ("rpc", "onesided")
+
+
+@dataclass(frozen=True)
+class TxnConfig:
+    """Workload + protocol knobs for one transaction experiment."""
+
+    dataplane: str = "rpc"
+    n_partitions: int = 2
+    n_keys: int = 256
+    keys_per_txn: int = 3
+    #: the first ``writes_per_txn`` picked keys are written (a txn's
+    #: write set is always a subset of its read set)
+    writes_per_txn: int = 2
+    read_only_fraction: float = 0.5
+    #: probability a transaction draws all its keys from the hot set
+    hot_fraction: float = 0.0
+    #: hot keys are {0, P, 2P, ...}: all in partition 0, so hot
+    #: transactions are single-partition by construction
+    n_hot: int = 4
+    value_bytes: int = 24
+    rpc_timeout_ns: float = 30_000.0
+    backoff_ns: float = 1_500.0
+    #: crash arm: (partition, at_ns, down_ns) pauses that participant
+    crash: Optional[Tuple[int, float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.dataplane not in DATAPLANES:
+            raise ValueError(
+                "unknown dataplane %r; expected one of %s"
+                % (self.dataplane, ", ".join(DATAPLANES))
+            )
+        if self.writes_per_txn > self.keys_per_txn:
+            raise ValueError("writes_per_txn cannot exceed keys_per_txn")
+        if self.hot_fraction > 0 and self.n_hot < self.keys_per_txn:
+            # a hot transaction draws all its (distinct) keys from the
+            # hot set, so a smaller set can never complete the draw
+            raise ValueError("n_hot must be >= keys_per_txn when hot_fraction > 0")
+
+    @property
+    def req_slot_bytes(self) -> int:
+        """Request-region slot: sized for the largest request."""
+        worst = 16 + self.keys_per_txn * 12 + self.writes_per_txn * (4 + self.value_bytes)
+        return -(-worst // 64) * 64
+
+    @property
+    def resp_slot_bytes(self) -> int:
+        worst = 16 + self.keys_per_txn * (12 + self.value_bytes)
+        return max(256, -(-worst // 64) * 64)
+
+
+@dataclass
+class TxnReport:
+    """Everything one transaction run measured and proved."""
+
+    dataplane: str
+    result: RunResult
+    commits: int
+    aborts: int
+    abort_rate: float
+    #: None = serializable; else the checker's reason string
+    violation: Optional[str]
+    torn_writes: int
+    #: sha256 over the committed history + final store state
+    fingerprint: str
+    #: commits whose acknowledgement landed inside the crash window
+    commits_in_outage: int = 0
+    retries: int = 0
+    server_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def serializable(self) -> bool:
+        return self.violation is None
+
+    @property
+    def ok(self) -> bool:
+        return self.serializable and self.torn_writes == 0
+
+    def summary(self) -> str:
+        lat = self.result.latency
+        return (
+            "txn[%s]: %.3f Mtxn/s, %d commits, %d aborts (%.1f%%), "
+            "p50 %.1f us, p99 %.1f us, serializable=%s, torn=%d"
+            % (
+                self.dataplane, self.result.mops, self.commits, self.aborts,
+                100.0 * self.abort_rate, lat.get("p50_us", 0.0), lat.get("p99_us", 0.0),
+                self.serializable, self.torn_writes,
+            )
+        )
+
+
+class TxnCluster:
+    """A transaction deployment on either commit dataplane."""
+
+    def __init__(
+        self,
+        config: Optional[TxnConfig] = None,
+        profile: HardwareProfile = APT,
+        n_clients: int = 8,
+        n_client_machines: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.config = config if config is not None else TxnConfig()
+        self.seed = seed
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, profile)
+        self.server_device = RdmaDevice(
+            Machine(self.sim, self.fabric, "server", cache_seed=seed)
+        )
+        cfg = self.config
+        self.stores = [
+            TxnPartitionStore(
+                self.server_device, p, cfg.n_partitions, cfg.n_keys, cfg.value_bytes
+            )
+            for p in range(cfg.n_partitions)
+        ]
+        self.servers = [
+            TxnServerProcess(p, self.server_device, self.stores[p], cfg.value_bytes)
+            for p in range(cfg.n_partitions)
+        ]
+        self.client_devices = [
+            RdmaDevice(Machine(self.sim, self.fabric, "cm%d" % i, cache_seed=seed + i + 1))
+            for i in range(n_client_machines)
+        ]
+        self.clients: List[TxnClientProcess] = []
+        self._n_clients = n_clients
+        if cfg.dataplane == "rpc":
+            self._regions = []
+            for p, server in enumerate(self.servers):
+                region = self.server_device.register_memory(
+                    max(1, n_clients) * cfg.req_slot_bytes
+                )
+                region.on_write = self._request_landed(server)
+                server.region = region
+                server.req_slot_bytes = cfg.req_slot_bytes
+                server.ud_qp = self.server_device.create_qp(Transport.UD)
+                self._regions.append(region)
+        self._wire(n_clients, seed)
+        #: commit ack timestamps, for the crash-window count
+        self._commit_times: List[float] = []
+
+    def _request_landed(self, server: TxnServerProcess):
+        slot = self.config.req_slot_bytes
+
+        def on_write(offset: int, _length: int) -> None:
+            server.arrivals.put(offset // slot)
+
+        return on_write
+
+    def _wire(self, n_clients: int, seed: int) -> None:
+        cfg = self.config
+        for cid in range(n_clients):
+            device = self.client_devices[cid % len(self.client_devices)]
+            rng = child_rng(seed, "txn.client.%d" % cid)
+            client = TxnClientProcess(cid, device, cfg, rng)
+            if cfg.dataplane == "rpc":
+                s_uc = self.server_device.create_qp(Transport.UC)
+                c_uc = device.create_qp(Transport.UC)
+                s_uc.connect(device.machine.name, c_uc.qpn)
+                c_uc.connect("server", s_uc.qpn)
+                client.rpc.uc_qp = c_uc
+                for p, region in enumerate(self._regions):
+                    client.rpc.req_slots[p] = (
+                        region.addr + cid * cfg.req_slot_bytes,
+                        region.rkey,
+                    )
+                for server in self.servers:
+                    assert len(server.client_ahs) == cid
+                    server.client_ahs.append(
+                        (device.machine.name, client.rpc.ud_qp.qpn)
+                    )
+            else:
+                s_rc = self.server_device.create_qp(Transport.RC)
+                c_rc = device.create_qp(Transport.RC)
+                s_rc.connect(device.machine.name, c_rc.qpn)
+                c_rc.connect("server", s_rc.qpn)
+                client.rc_qp = c_rc
+                for p, store in enumerate(self.stores):
+                    client.store_slots[p] = (store.mr.addr, store.mr.rkey)
+            self.clients.append(client)
+
+    # ------------------------------------------------------------------
+
+    def run(self, warmup_ns: float = 20_000.0, measure_ns: float = 150_000.0) -> TxnReport:
+        cfg = self.config
+        window_end = warmup_ns + measure_ns
+        meter = RateMeter(warmup_ns, window_end)
+        latencies = LatencyRecorder(warmup_ns, window_end)
+        metrics = getattr(self.sim, "metrics", None)
+
+        def commit_hook(now: float) -> None:
+            self._commit_times.append(now)
+            if metrics is not None:
+                metrics.counter("txn.commits").inc()
+
+        def abort_hook(_now: float) -> None:
+            if metrics is not None:
+                metrics.counter("txn.aborts").inc()
+
+        for client in self.clients:
+            def hook(now, latency, _m=meter, _l=latencies):
+                _m.record(now)
+                _l.record(now, latency)
+
+            client.completed_hook = hook
+            client.commit_hook = commit_hook
+            client.abort_hook = abort_hook
+            client.stop_at = window_end
+            client.start()
+        if cfg.dataplane == "rpc":
+            for server in self.servers:
+                server.start()
+        if cfg.crash is not None:
+            partition, at_ns, down_ns = cfg.crash
+            server = self.servers[partition]
+            self.sim.call_in(at_ns, server.crash)
+            self.sim.call_in(at_ns + down_ns, server.recover)
+        self.sim.run(until=window_end)
+        # Drain: clients stop starting transactions at the horizon but
+        # in-flight ones complete, so the audited history has no
+        # artificially torn tails.
+        self.sim.run_until_idle()
+        return self._report(meter, latencies, measure_ns)
+
+    # -- audits --------------------------------------------------------
+
+    def _final_state(self) -> Dict[int, bytes]:
+        out: Dict[int, bytes] = {}
+        for store in self.stores:
+            for key, (_version, value) in store.scan().items():
+                out[key] = value
+        return out
+
+    def _torn_writes(self, history: List[TxnRecord], final: Dict[int, bytes]) -> int:
+        """Final values that no committed/pending transaction explains."""
+        legal: Dict[Tuple[int, int], set] = {}
+        for txn in history:
+            if txn.status == "aborted":
+                continue
+            for key, _value in txn.writes:
+                legal.setdefault((txn.client, txn.txn_id % 1_000_000), set()).add(key)
+        torn = 0
+        for key, value in final.items():
+            tag = parse_value(value)
+            if tag is None:
+                continue  # initial zeros: never written
+            client, seq, tagged_key = tag
+            if tagged_key != key or key not in legal.get((client, seq), ()):
+                torn += 1
+        return torn
+
+    def _fingerprint(self, history: List[TxnRecord], final: Dict[int, bytes]) -> str:
+        h = hashlib.sha256()
+        for txn in sorted(history, key=lambda t: (t.client, t.txn_id)):
+            h.update(
+                repr((txn.txn_id, txn.client, txn.status, txn.invoke, txn.respond,
+                      txn.reads, txn.writes)).encode()
+            )
+        for key in sorted(final):
+            h.update(b"%d:" % key + final[key])
+        return h.hexdigest()
+
+    def _report(self, meter: RateMeter, latencies: LatencyRecorder,
+                measure_ns: float) -> TxnReport:
+        cfg = self.config
+        history: List[TxnRecord] = []
+        for client in self.clients:
+            history.extend(client.history)
+        commits = sum(c.commits for c in self.clients)
+        aborts = sum(c.aborts for c in self.clients)
+        attempts = commits + aborts
+        final = self._final_state()
+        initial = {k: b"\x00" * cfg.value_bytes for k in range(cfg.n_keys)}
+        violation = check_serializable(history, initial=initial, final=final)
+        torn = self._torn_writes(history, final)
+        commits_in_outage = 0
+        if cfg.crash is not None:
+            _partition, at_ns, down_ns = cfg.crash
+            commits_in_outage = sum(
+                1 for t in self._commit_times if at_ns <= t < at_ns + down_ns
+            )
+        retries = 0
+        if cfg.dataplane == "rpc":
+            retries = sum(c.rpc.retries for c in self.clients)
+        server_counters = {
+            "requests_handled": sum(s.requests_handled for s in self.servers),
+            "commits_applied": sum(s.commits_applied for s in self.servers),
+            "prepares_rejected": sum(s.prepares_rejected for s in self.servers),
+            "duplicates_answered": sum(s.duplicates_answered for s in self.servers),
+            "atomics_served": self.server_device.atomics_served,
+        }
+        return TxnReport(
+            dataplane=cfg.dataplane,
+            result=collect(meter, latencies, measure_ns),
+            commits=commits,
+            aborts=aborts,
+            abort_rate=aborts / attempts if attempts else 0.0,
+            violation=violation,
+            torn_writes=torn,
+            fingerprint=self._fingerprint(history, final),
+            commits_in_outage=commits_in_outage,
+            retries=retries,
+            server_counters=server_counters,
+        )

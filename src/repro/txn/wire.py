@@ -1,0 +1,168 @@
+"""Wire formats for the transaction RPC dataplane.
+
+Requests travel as HERD-style UC WRITEs into a per-(partition, client)
+request-region slot; responses come back as UD SENDs.  Every message is
+framed with a fixed header so duplicate detection (client retries, the
+crash-pause arm) works on (seq, kind) alone:
+
+* request:  ``[kind u8][seq u32][body len u16][body]``
+* response: ``[kind u8][seq u32][status u8][partition u8][body]``
+
+Bodies use fixed-size records — the value size is a cluster constant —
+so encode/decode never needs a schema side channel.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+# request kinds (0 = empty slot, never a valid request)
+TXN_READ = 1      # read keys: versions + values
+TXN_PREPARE = 2   # lock + stage the write set, vote (no read validation)
+TXN_VALIDATE = 3  # validate read versions *after all locks are held*
+TXN_COMMIT = 4    # apply staged writes, release locks
+TXN_ABORT = 5     # drop staged writes, release locks
+TXN_ONE = 6       # single-partition one-shot: read + apply atomically
+Q_ENQ = 7         # FIFO queue enqueue (server-side data structure op)
+Q_DEQ = 8         # FIFO queue dequeue
+
+#: commit phases must supersede earlier phases of the same seq when the
+#: server dedups retried requests.  VALIDATE strictly follows PREPARE
+#: (every write lock is held before any read is validated — the FaRM
+#: ordering that makes distributed OCC serializable; validating during
+#: the lock round admits a cross-partition write-skew cycle).
+PHASE_RANK = {TXN_READ: 0, TXN_PREPARE: 1, TXN_VALIDATE: 2,
+              TXN_COMMIT: 3, TXN_ABORT: 3,
+              TXN_ONE: 1, Q_ENQ: 1, Q_DEQ: 1}
+
+# response statuses
+ST_OK = 0
+ST_VOTE_NO = 1   # prepare lost a lock race or failed read validation
+ST_EMPTY = 2     # queue dequeue found no elements
+
+_REQ_HDR = struct.Struct("<BIH")
+_RESP_HDR = struct.Struct("<BIBB")
+_KEY = struct.Struct("<I")
+_KEYVER = struct.Struct("<IQ")
+_COUNT = struct.Struct("<H")
+_U64 = struct.Struct("<Q")
+
+REQ_HDR_BYTES = _REQ_HDR.size
+RESP_HDR_BYTES = _RESP_HDR.size
+
+
+def encode_request(kind: int, seq: int, body: bytes = b"") -> bytes:
+    return _REQ_HDR.pack(kind, seq, len(body)) + body
+
+
+def decode_request(buf: bytes) -> Tuple[int, int, bytes]:
+    kind, seq, blen = _REQ_HDR.unpack_from(buf)
+    return kind, seq, bytes(buf[REQ_HDR_BYTES:REQ_HDR_BYTES + blen])
+
+
+def encode_response(kind: int, seq: int, status: int, partition: int,
+                    body: bytes = b"") -> bytes:
+    return _RESP_HDR.pack(kind, seq, status, partition) + body
+
+
+def decode_response(buf: bytes) -> Tuple[int, int, int, int, bytes]:
+    kind, seq, status, partition = _RESP_HDR.unpack_from(buf)
+    return kind, seq, status, partition, bytes(buf[RESP_HDR_BYTES:])
+
+
+# -- bodies -----------------------------------------------------------------
+
+
+def encode_keys(keys: Sequence[int]) -> bytes:
+    return _COUNT.pack(len(keys)) + b"".join(_KEY.pack(k) for k in keys)
+
+
+def decode_keys(body: bytes, offset: int = 0) -> Tuple[List[int], int]:
+    (n,) = _COUNT.unpack_from(body, offset)
+    offset += _COUNT.size
+    keys = []
+    for _ in range(n):
+        (k,) = _KEY.unpack_from(body, offset)
+        keys.append(k)
+        offset += _KEY.size
+    return keys, offset
+
+
+def encode_prepare(reads: Iterable[Tuple[int, int]],
+                   writes: Iterable[Tuple[int, bytes]]) -> bytes:
+    """``reads`` = (key, expected version); ``writes`` = (key, value)."""
+    reads = list(reads)
+    writes = list(writes)
+    out = [_COUNT.pack(len(reads))]
+    out += [_KEYVER.pack(k, v) for k, v in reads]
+    out.append(_COUNT.pack(len(writes)))
+    out += [_KEY.pack(k) + value for k, value in writes]
+    return b"".join(out)
+
+
+def decode_prepare(body: bytes, value_bytes: int
+                   ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, bytes]]]:
+    (n,) = _COUNT.unpack_from(body, 0)
+    offset = _COUNT.size
+    reads = []
+    for _ in range(n):
+        k, v = _KEYVER.unpack_from(body, offset)
+        reads.append((k, v))
+        offset += _KEYVER.size
+    (m,) = _COUNT.unpack_from(body, offset)
+    offset += _COUNT.size
+    writes = []
+    for _ in range(m):
+        (k,) = _KEY.unpack_from(body, offset)
+        offset += _KEY.size
+        writes.append((k, bytes(body[offset:offset + value_bytes])))
+        offset += value_bytes
+    return reads, writes
+
+
+def encode_one(read_keys: Sequence[int],
+               writes: Iterable[Tuple[int, bytes]]) -> bytes:
+    """One-shot body: bare read keys plus the write set."""
+    writes = list(writes)
+    out = [encode_keys(read_keys), _COUNT.pack(len(writes))]
+    out += [_KEY.pack(k) + value for k, value in writes]
+    return b"".join(out)
+
+
+def decode_one(body: bytes, value_bytes: int
+               ) -> Tuple[List[int], List[Tuple[int, bytes]]]:
+    keys, offset = decode_keys(body, 0)
+    (m,) = _COUNT.unpack_from(body, offset)
+    offset += _COUNT.size
+    writes = []
+    for _ in range(m):
+        (k,) = _KEY.unpack_from(body, offset)
+        offset += _KEY.size
+        writes.append((k, bytes(body[offset:offset + value_bytes])))
+        offset += value_bytes
+    return keys, writes
+
+
+def encode_read_items(items: Iterable[Tuple[int, int, bytes]]) -> bytes:
+    """Read results: (key, version, value) fixed-size records."""
+    return b"".join(_KEYVER.pack(k, ver) + value for k, ver, value in items)
+
+
+def decode_read_items(body: bytes, value_bytes: int
+                      ) -> List[Tuple[int, int, bytes]]:
+    record = _KEYVER.size + value_bytes
+    items = []
+    for offset in range(0, len(body), record):
+        k, ver = _KEYVER.unpack_from(body, offset)
+        value = bytes(body[offset + _KEYVER.size:offset + record])
+        items.append((k, ver, value))
+    return items
+
+
+def encode_u64(value: int) -> bytes:
+    return _U64.pack(value)
+
+
+def decode_u64(body: bytes, offset: int = 0) -> int:
+    return _U64.unpack_from(body, offset)[0]

@@ -21,6 +21,7 @@ Unsignaled verbs skip the completion DMA entirely — that is the
 
 from __future__ import annotations
 
+import struct
 from typing import Callable, Dict, Generator, Optional, Tuple
 
 from repro.hw.machine import Machine
@@ -55,11 +56,33 @@ _EGRESS_KIND = {
     Opcode.WRITE: PacketKind.WRITE,
     Opcode.SEND: PacketKind.SEND,
     Opcode.READ: PacketKind.READ_REQ,
+    Opcode.ATOMIC_CS: PacketKind.ATOMIC_REQ,
+    Opcode.ATOMIC_FA: PacketKind.ATOMIC_REQ,
 }
 
 #: Packet kinds processed with the *requester* QP-context role at
 #: ingress (responses and ACKs come back to the original requester).
-_REQUESTER_KINDS = frozenset({PacketKind.READ_RESP, PacketKind.ACK})
+_REQUESTER_KINDS = frozenset(
+    {PacketKind.READ_RESP, PacketKind.ACK, PacketKind.ATOMIC_RESP}
+)
+
+#: the remote read-modify-write opcodes
+_ATOMIC_OPS = frozenset({Opcode.ATOMIC_CS, Opcode.ATOMIC_FA})
+
+#: opcodes that are requests without a payload DMA fetch (the request
+#: packet carries only addressing/operands) and that consume an
+#: outstanding-read credit — the NIC holds non-posted state for them
+_FETCHLESS = frozenset({Opcode.READ}) | _ATOMIC_OPS
+
+#: atomic request wire operands: op tag, compare/add, swap
+_ATOMIC_WIRE = struct.Struct("<BQQ")
+_ATOMIC_CS_TAG = 0
+_ATOMIC_FA_TAG = 1
+_U64_MASK = (1 << 64) - 1
+
+#: per-source-QP replay entries the responder retains (real NICs size
+#: this as "responder resources"; 2x the requester's credit limit)
+_ATOMIC_REPLAY_DEPTH = 32
 
 
 class RdmaDevice:
@@ -90,6 +113,14 @@ class RdmaDevice:
         self.retransmits = 0
         self.icrc_drops = 0      # corrupted packets discarded at ingress
         self.qp_error_drops = 0  # packets addressed to an ERROR-state QP
+        self.atomics_served = 0  # remote read-modify-writes executed here
+        self.atomic_replays = 0  # duplicate atomic requests answered from cache
+        #: responder replay cache: (src machine, src qpn) -> {psn:
+        #: original value}; a retransmitted atomic whose response was
+        #: lost is answered from here instead of re-executing the RMW
+        #: (exactly-once side effects over a lossy fabric).  An entry of
+        #: None marks a request still in the locked-execution window.
+        self._atomic_replay: Dict[Tuple[str, int], Dict[int, Optional[int]]] = {}
         # Observability (repro.obs): semantic verbs counters, None when
         # the simulator carries no metrics registry.
         self.metrics = getattr(self.sim, "metrics", None)
@@ -104,6 +135,8 @@ class RdmaDevice:
             PacketKind.READ_REQ: p.nic_ingress_read_ns,
             PacketKind.READ_RESP: p.nic_ingress_resp_ns,
             PacketKind.ACK: p.nic_ingress_ack_ns,
+            PacketKind.ATOMIC_REQ: p.nic_ingress_atomic_ns,
+            PacketKind.ATOMIC_RESP: p.nic_ingress_resp_ns,
         }
         self._ingress_handler = {
             PacketKind.WRITE: self._handle_write,
@@ -111,6 +144,8 @@ class RdmaDevice:
             PacketKind.READ_REQ: self._handle_read_req,
             PacketKind.READ_RESP: self._handle_read_resp,
             PacketKind.ACK: self._handle_ack,
+            PacketKind.ATOMIC_REQ: self._handle_atomic_req,
+            PacketKind.ATOMIC_RESP: self._handle_atomic_resp,
         }
 
     # ------------------------------------------------------------------
@@ -186,9 +221,10 @@ class RdmaDevice:
                     "signaled" if wr.signaled else "unsignaled",
                 ),
             )
-        if wr.opcode is Opcode.READ and not qp.take_read_credit():
-            # ConnectX-3 services at most 16 outstanding READs per QP;
-            # excess requests wait in the driver.
+        if wr.opcode in _FETCHLESS and not qp.take_read_credit():
+            # ConnectX-3 services at most 16 outstanding READs per QP
+            # (atomics share the same non-posted slots); excess
+            # requests wait in the driver.
             qp.pending_reads.append(wr)
             return self.sim.timeout(0.0)
         qp.sends_posted += 1
@@ -197,7 +233,7 @@ class RdmaDevice:
             self.metrics.counter(
                 prefix + "wqe.%s.%s" % (wr.opcode.value, qp.transport.value)
             ).inc()
-            if wr.opcode is not Opcode.READ:
+            if wr.opcode not in _FETCHLESS:
                 self.metrics.counter(
                     prefix + ("payload.inline" if wr.inline else "payload.dma")
                 ).inc()
@@ -255,6 +291,13 @@ class RdmaDevice:
             raise VerbError("UD messages are limited to one MTU")
         if wr.opcode is Opcode.READ and wr.local is None:
             raise VerbError("READ requires a local sink buffer")
+        if wr.opcode in _ATOMIC_OPS:
+            if wr.inline:
+                raise VerbError("atomics cannot be inlined")
+            # re-check here so hand-built WorkRequests are caught too
+            from repro.verbs.types import _validate_atomic_args
+
+            _validate_atomic_args(wr.raddr, wr.local)
         if qp.transport.connected and qp.peer is None:
             raise VerbError("queue pair is not connected")
 
@@ -262,8 +305,10 @@ class RdmaDevice:
         """WQE size: what the CPU pushes through write-combining PIO."""
         p = self.profile
         size = p.wqe_ctrl_bytes
-        if wr.opcode in (Opcode.WRITE, Opcode.READ):
+        if wr.opcode.memory_semantics:
             size += p.wqe_raddr_bytes
+        if wr.opcode in _ATOMIC_OPS:
+            size += p.wqe_atomic_bytes
         if qp.transport is Transport.UD:
             size += p.wqe_av_bytes
         if wr.inline:
@@ -275,10 +320,10 @@ class RdmaDevice:
     def _egress(self, qp: QueuePair, wr: WorkRequest) -> None:
         p = self.profile
         hit = self.machine.qp_cache.access(("s", qp.qpn), requester=True)
-        service = p.nic_egress_read_ns if wr.opcode is Opcode.READ else p.nic_egress_ns
+        service = p.nic_egress_read_ns if wr.opcode in _FETCHLESS else p.nic_egress_ns
         service += self.machine.qp_cache.miss_penalty_ns(hit, requester=True)
         done = self.machine.nic_egress.serve(service)
-        if wr.opcode is not Opcode.READ and not wr.inline:
+        if wr.opcode not in _FETCHLESS and not wr.inline:
             # Fetch the payload from host memory with non-posted DMA.
             ready = self.sim.event()
             done.add_callback(lambda _e: self._fetch(qp, wr, ready))
@@ -313,8 +358,18 @@ class RdmaDevice:
 
     def _transmit_wr(self, qp: QueuePair, wr: WorkRequest) -> None:
         dst_machine, dst_qpn = qp.destination_for(wr)
+        psn = 0
         if wr.inline or wr.opcode is Opcode.READ:
             payload = wr.payload
+        elif wr.opcode in _ATOMIC_OPS:
+            # The request packet carries the operands (the AtomicETH);
+            # the PSN identifies it in the responder's replay cache.
+            tag = _ATOMIC_CS_TAG if wr.opcode is Opcode.ATOMIC_CS else _ATOMIC_FA_TAG
+            payload = _ATOMIC_WIRE.pack(
+                tag, wr.compare_add & _U64_MASK, wr.swap & _U64_MASK
+            )
+            qp.atomic_psn += 1
+            psn = qp.atomic_psn
         else:
             # Zero-copy: the bytes leave host memory at DMA-fetch time.
             mr, offset, length = wr.local
@@ -333,12 +388,17 @@ class RdmaDevice:
             raddr=wr.raddr,
             rkey=wr.rkey,
             length=wr.length,
+            psn=psn,
             wr=wr,
         )
-        if qp.transport.reliable and kind is not PacketKind.READ_REQ:
-            # RC/DC track unacknowledged sends.  (For DC, FIFO matching
-            # of ACKs across targets is sound here because the fabric's
-            # propagation delay is uniform.)
+        if qp.transport.reliable and kind not in (
+            PacketKind.READ_REQ,
+            PacketKind.ATOMIC_REQ,
+        ):
+            # RC/DC track unacknowledged sends; READs and atomics
+            # complete via their response instead of an ACK.  (For DC,
+            # FIFO matching of ACKs across targets is sound here
+            # because the fabric's propagation delay is uniform.)
             qp.unacked.append(wr)
         self._transmit(packet)
         if not qp.transport.reliable and wr.signaled:
@@ -351,6 +411,8 @@ class RdmaDevice:
         payload_len = packet.length if packet.kind is not PacketKind.READ_REQ else 16
         if packet.kind is PacketKind.ACK:
             payload_len = 0
+        elif packet.kind is PacketKind.ATOMIC_REQ:
+            payload_len = 28  # AtomicETH: raddr + rkey + two operands
         ud = packet.transport is Transport.UD
         wire = self._segmented_wire_bytes(payload_len, ud)
         self.machine.transmit(packet.dst_machine, packet, wire)
@@ -528,6 +590,101 @@ class RdmaDevice:
         def on_landed(_e: Event) -> None:
             if wr.signaled:
                 self._push_cqe(qp.send_cq, Cqe(wr.wr_id, Opcode.READ, byte_len=packet.length))
+            queued = qp.return_read_credit()
+            if queued is not None:
+                self.post_send(qp, queued)
+
+        landed.add_callback(on_landed)
+
+    def _handle_atomic_req(self, packet: Packet) -> None:
+        """Execute a remote read-modify-write as the responder.
+
+        The mutation happens inside the PCIe bus's locked occupancy
+        window (:meth:`~repro.hw.pcie.PcieBus.dma_atomic`): the shared
+        ``dma`` FifoServer never overlaps two services, so every atomic
+        targeting this host is serialised regardless of which QP or
+        requester issued it — the per-device atomicity guarantee.
+        """
+        from repro.verbs.types import ATOMIC_BYTES
+
+        mr = self.mr_table.resolve(packet.raddr, packet.rkey, ATOMIC_BYTES)
+        offset = mr.offset_of(packet.raddr)
+        tag, compare_add, swap = _ATOMIC_WIRE.unpack(packet.payload)
+        cache = self._atomic_replay.setdefault(
+            (packet.src_machine, packet.src_qpn), {}
+        )
+        if packet.psn in cache:
+            original = cache[packet.psn]
+            if original is None:
+                # The first copy is still inside its locked window; the
+                # duplicate is dropped (the requester keeps its RTO).
+                return
+            # Replay: the response was lost.  Answer from the cache —
+            # the RMW must not execute twice.
+            self.atomic_replays += 1
+            self._respond_atomic(packet, original)
+            return
+        cache[packet.psn] = None
+        if len(cache) > _ATOMIC_REPLAY_DEPTH:
+            for stale in sorted(cache)[: len(cache) - _ATOMIC_REPLAY_DEPTH]:
+                if cache[stale] is not None:
+                    del cache[stale]
+
+        def locked() -> None:
+            original = int.from_bytes(mr.read(offset, ATOMIC_BYTES), "little")
+            if tag == _ATOMIC_CS_TAG:
+                if original == compare_add:
+                    mr.write(offset, swap.to_bytes(ATOMIC_BYTES, "little"))
+            else:
+                value = (original + compare_add) & _U64_MASK
+                mr.write(offset, value.to_bytes(ATOMIC_BYTES, "little"))
+            cache[packet.psn] = original
+            self.atomics_served += 1
+            if self.metrics is not None:
+                self.metrics.counter("verbs.%s.atomics" % self.machine.name).inc()
+
+        done = self.machine.pcie.dma_atomic(on_locked=locked)
+        done.add_callback(
+            lambda _e: self._respond_atomic(packet, cache[packet.psn])
+        )
+
+    def _respond_atomic(self, packet: Packet, original: int) -> None:
+        from repro.verbs.types import ATOMIC_BYTES
+
+        response = Packet(
+            PacketKind.ATOMIC_RESP,
+            packet.transport,
+            self.machine.name,
+            packet.dst_qpn,
+            packet.src_machine,
+            packet.src_qpn,
+            payload=original.to_bytes(ATOMIC_BYTES, "little"),
+            length=ATOMIC_BYTES,
+            psn=packet.psn,
+            wr=packet.wr,
+        )
+        served = self.machine.nic_egress.serve(self.profile.nic_egress_ns)
+        served.add_callback(lambda _e: self._transmit(response))
+
+    def _handle_atomic_resp(self, packet: Packet) -> None:
+        qp = self.qps.get(packet.dst_qpn)
+        wr = packet.wr
+        if qp is None or wr is None:
+            raise VerbError("atomic response for unknown QP/WR")
+        if getattr(wr, "_acked", False):
+            # a replayed response after the original arrived; drop it
+            self.duplicate_acks += 1
+            return
+        wr._acked = True
+        mr, offset, _length = wr.local
+        mr.write(offset, packet.payload)
+        landed = self.machine.pcie.dma_write(packet.length)
+
+        def on_landed(_e: Event) -> None:
+            if wr.signaled:
+                self._push_cqe(
+                    qp.send_cq, Cqe(wr.wr_id, wr.opcode, byte_len=packet.length)
+                )
             queued = qp.return_read_credit()
             if queued is not None:
                 self.post_send(qp, queued)

@@ -15,11 +15,13 @@ from repro.verbs.types import Transport, WorkRequest
 
 
 class PacketKind(enum.Enum):
-    WRITE = "WRITE"          # RDMA WRITE data
-    SEND = "SEND"            # SEND message data
-    READ_REQ = "READ_REQ"    # RDMA READ request
-    READ_RESP = "READ_RESP"  # RDMA READ response data
-    ACK = "ACK"              # RC acknowledgement
+    WRITE = "WRITE"              # RDMA WRITE data
+    SEND = "SEND"                # SEND message data
+    READ_REQ = "READ_REQ"        # RDMA READ request
+    READ_RESP = "READ_RESP"      # RDMA READ response data
+    ACK = "ACK"                  # RC acknowledgement
+    ATOMIC_REQ = "ATOMIC_REQ"    # CmpSwap / FetchAdd request (operands)
+    ATOMIC_RESP = "ATOMIC_RESP"  # atomic response (original value)
 
 
 class Packet:

@@ -40,9 +40,15 @@ class QueuePair:
         self.recv_queue: Deque[RecvRequest] = deque()
         #: RC: signaled sends awaiting an ACK, in order
         self.unacked: Deque[WorkRequest] = deque()
-        #: READ flow control
+        #: READ flow control — atomics share these slots: ConnectX
+        #: NICs account CmpSwap/FetchAdd against the same
+        #: outstanding-RDMA-read limit (both are non-posted requests
+        #: the requester must hold state for)
         self.read_credits = max_outstanding_reads
         self.pending_reads: Deque[WorkRequest] = deque()
+        #: per-QP packet sequence number stamped on atomic requests;
+        #: the responder's replay cache dedups retransmits by it
+        self.atomic_psn = 0
         #: transmit-ordering gate: RDMA executes a QP's WQEs in post
         #: order, so a payload DMA fetch must not let later (e.g.
         #: inlined) WQEs overtake this one onto the wire

@@ -31,32 +31,68 @@ class Transport(enum.Enum):
 
 
 class Opcode(enum.Enum):
-    """Verb opcodes relevant to this work (Section 2.2.2)."""
+    """Verb opcodes relevant to this work (Section 2.2.2).
+
+    The two masked atomics are the IB-spec remote read-modify-writes:
+    both operate on one 8-byte-aligned quadword and return the
+    *original* value to a local sink buffer.  Only the reliable
+    transports carry them (the responder must be able to replay a lost
+    response without re-executing the side effect).
+    """
 
     SEND = "SEND"
     RECV = "RECV"
     WRITE = "WRITE"
     READ = "READ"
+    ATOMIC_CS = "ATOMIC_CMP_AND_SWP"
+    ATOMIC_FA = "ATOMIC_FETCH_ADD"
 
     @property
     def memory_semantics(self) -> bool:
-        """True for the one-sided RDMA verbs (READ and WRITE)."""
-        return self in (Opcode.WRITE, Opcode.READ)
+        """True for the one-sided RDMA verbs (READ, WRITE, atomics)."""
+        return self not in (Opcode.SEND, Opcode.RECV)
 
     @property
     def channel_semantics(self) -> bool:
         """True for the two-sided messaging verbs (SEND and RECV)."""
         return self in (Opcode.SEND, Opcode.RECV)
 
+    @property
+    def atomic(self) -> bool:
+        """True for the remote read-modify-write verbs."""
+        return self in (Opcode.ATOMIC_CS, Opcode.ATOMIC_FA)
+
+
+#: atomics always operate on one quadword
+ATOMIC_BYTES = 8
 
 #: Table 1: operations supported by each transport type.  UC does not
-#: support READs, and UD does not support RDMA at all.  (DC is this
+#: support READs, and UD does not support RDMA at all.  Atomics need a
+#: reliable responder, so only RC and DC carry them.  (DC is this
 #: library's Connect-IB extension, not part of the paper's Table 1.)
 TRANSPORT_CAPABILITIES = {
-    Transport.RC: frozenset({Opcode.SEND, Opcode.RECV, Opcode.WRITE, Opcode.READ}),
+    Transport.RC: frozenset(
+        {
+            Opcode.SEND,
+            Opcode.RECV,
+            Opcode.WRITE,
+            Opcode.READ,
+            Opcode.ATOMIC_CS,
+            Opcode.ATOMIC_FA,
+        }
+    ),
     Transport.UC: frozenset({Opcode.SEND, Opcode.RECV, Opcode.WRITE}),
     Transport.UD: frozenset({Opcode.SEND, Opcode.RECV}),
-    Transport.DC: frozenset({Opcode.SEND, Opcode.RECV, Opcode.WRITE, Opcode.READ}),
+    Transport.DC: frozenset(
+        {
+            Opcode.SEND,
+            Opcode.RECV,
+            Opcode.WRITE,
+            Opcode.READ,
+            Opcode.ATOMIC_CS,
+            Opcode.ATOMIC_FA,
+        }
+    ),
 }
 
 
@@ -158,6 +194,8 @@ class WorkRequest:
         "ah",
         "context",
         "on_fetched",
+        "compare_add",
+        "swap",
         "_acked",
     )
 
@@ -174,6 +212,8 @@ class WorkRequest:
         ah: Optional[Tuple[str, int]] = None,
         context: object = None,
         on_fetched: Optional[object] = None,
+        compare_add: int = 0,
+        swap: int = 0,
     ) -> None:
         self.opcode = opcode
         self.wr_id = wr_id
@@ -195,6 +235,11 @@ class WorkRequest:
         #: be reused (true zero-copy semantics; HERD's staging buffer
         #: recycles extents off this)
         self.on_fetched = on_fetched
+        #: atomic operands (ibv_wr naming): the compare value for
+        #: ATOMIC_CMP_AND_SWP or the addend for ATOMIC_FETCH_ADD ...
+        self.compare_add = compare_add
+        #: ... and the swap value for ATOMIC_CMP_AND_SWP (unused by FA)
+        self.swap = swap
 
     def __repr__(self) -> str:
         return "WorkRequest(%r, wr_id=%r, inline=%r, signaled=%r)" % (
@@ -289,6 +334,69 @@ class WorkRequest:
             context=context,
         )
 
+    @classmethod
+    def cmp_swap(
+        cls,
+        raddr: int,
+        rkey: int,
+        compare: int,
+        swap: int,
+        local: Tuple[object, int, int],
+        signaled: bool = True,
+        wr_id: int = 0,
+        ah: Optional[Tuple[str, int]] = None,
+        context: object = None,
+    ) -> "WorkRequest":
+        """An ATOMIC_CMP_AND_SWP of the quadword at ``raddr``.
+
+        If the remote quadword equals ``compare`` it is replaced with
+        ``swap``; either way the *original* value is returned into the
+        8-byte ``local`` sink buffer.
+        """
+        _validate_atomic_args(raddr, local)
+        return cls(
+            Opcode.ATOMIC_CS,
+            wr_id=wr_id,
+            local=local,
+            raddr=raddr,
+            rkey=rkey,
+            signaled=signaled,
+            ah=ah,
+            context=context,
+            compare_add=compare,
+            swap=swap,
+        )
+
+    @classmethod
+    def fetch_add(
+        cls,
+        raddr: int,
+        rkey: int,
+        add: int,
+        local: Tuple[object, int, int],
+        signaled: bool = True,
+        wr_id: int = 0,
+        ah: Optional[Tuple[str, int]] = None,
+        context: object = None,
+    ) -> "WorkRequest":
+        """An ATOMIC_FETCH_ADD of ``add`` to the quadword at ``raddr``.
+
+        The addition wraps at 2**64; the original value is returned
+        into the 8-byte ``local`` sink buffer.
+        """
+        _validate_atomic_args(raddr, local)
+        return cls(
+            Opcode.ATOMIC_FA,
+            wr_id=wr_id,
+            local=local,
+            raddr=raddr,
+            rkey=rkey,
+            signaled=signaled,
+            ah=ah,
+            context=context,
+            compare_add=add,
+        )
+
     @property
     def length(self) -> int:
         """Payload length in bytes."""
@@ -297,6 +405,20 @@ class WorkRequest:
         if self.local is not None:
             return self.local[2]
         return 0
+
+
+def _validate_atomic_args(raddr: int, local: Optional[Tuple[object, int, int]]) -> None:
+    """Shared operand checks for the atomic constructors (IB spec)."""
+    if local is None:
+        raise VerbError("atomics require a local sink for the original value")
+    if local[2] != ATOMIC_BYTES:
+        raise VerbError(
+            "atomic sink must be exactly %d bytes; got %d" % (ATOMIC_BYTES, local[2])
+        )
+    if raddr % ATOMIC_BYTES:
+        raise VerbError(
+            "atomic target address %#x is not %d-byte aligned" % (raddr, ATOMIC_BYTES)
+        )
 
 
 class RecvRequest:

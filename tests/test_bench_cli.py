@@ -106,3 +106,25 @@ def test_no_flags_leaves_simulators_uninstrumented(monkeypatch):
     assert cli.main(["figx"]) == 0
     assert not hasattr(seen[0], "metrics")
     assert not hasattr(seen[0], "tracer")
+
+
+# ---------------------------------------------------------------------------
+# txn experiments
+# ---------------------------------------------------------------------------
+
+
+def test_txn_experiments_listed(capsys):
+    assert cli.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "figtxn" in out
+    assert "figtxnq" in out
+
+
+def test_run_txn_rejects_unknown_dataplane_naming_the_choices():
+    from repro.bench.figures import run_txn
+
+    with pytest.raises(ValueError) as excinfo:
+        run_txn(dataplane="dcqcn")
+    message = str(excinfo.value)
+    assert "dcqcn" in message
+    assert "rpc" in message and "onesided" in message

@@ -1,0 +1,202 @@
+"""End-to-end repro.txn: both commit dataplanes against the checker.
+
+Every cluster run here finishes with the full audit pipeline — a
+Wing-Gong strict-serializability check over the recorded transaction
+history, a torn-write scan of the final store bytes, and a determinism
+fingerprint — so these tests are the executable form of the subsystem's
+correctness claims.
+"""
+
+import pytest
+
+from repro.obs import capture
+from repro.txn import (
+    DATAPLANES,
+    QueueConfig,
+    TxnCluster,
+    TxnConfig,
+    TxnQueueCluster,
+    make_value,
+    parse_value,
+)
+from repro.txn import wire
+
+QUICK = dict(warmup_ns=10_000.0, measure_ns=80_000.0)
+
+
+def run_cluster(seed=0, n_clients=6, **cfg):
+    cluster = TxnCluster(TxnConfig(**cfg), n_clients=n_clients, seed=seed)
+    return cluster.run(**QUICK)
+
+
+# ---------------------------------------------------------------------------
+# configuration and value tagging
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_dataplane_rejected_with_the_valid_choices():
+    with pytest.raises(ValueError, match="rpc, onesided"):
+        TxnConfig(dataplane="dcqcn")
+    with pytest.raises(ValueError, match="unknown dataplane"):
+        QueueConfig(dataplane="rdma")
+
+
+def test_write_set_cannot_exceed_the_key_set():
+    with pytest.raises(ValueError):
+        TxnConfig(keys_per_txn=2, writes_per_txn=3)
+    with pytest.raises(ValueError, match="n_hot"):
+        TxnConfig(keys_per_txn=3, n_hot=2, hot_fraction=0.5)
+
+
+def test_value_tag_roundtrip():
+    value = make_value(client=3, seq=41, key=7, value_bytes=24)
+    assert len(value) == 24
+    assert parse_value(value) == (3, 41, 7)
+    assert parse_value(b"\x00" * 24) is None
+
+
+def test_wire_roundtrips():
+    body = wire.encode_prepare([(1, 9), (2, 0)], [(3, b"x" * 8)])
+    reads, writes = wire.decode_prepare(body, value_bytes=8)
+    assert reads == [(1, 9), (2, 0)]
+    assert writes == [(3, b"x" * 8)]
+    buf = wire.encode_request(wire.TXN_PREPARE, 7, body)
+    kind, seq, decoded = wire.decode_request(buf)
+    assert (kind, seq, decoded) == (wire.TXN_PREPARE, 7, body)
+    resp = wire.encode_response(wire.TXN_COMMIT, 7, wire.ST_OK, 1, b"zz")
+    assert wire.decode_response(resp) == (wire.TXN_COMMIT, 7, wire.ST_OK, 1, b"zz")
+
+
+# ---------------------------------------------------------------------------
+# serializability across dataplanes and seeds
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dataplane", DATAPLANES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_dataplane_serializable_across_seeds(dataplane, seed):
+    report = run_cluster(seed=seed, dataplane=dataplane)
+    assert report.commits > 0
+    assert report.violation is None, report.violation
+    assert report.torn_writes == 0
+    assert report.ok
+
+
+@pytest.mark.parametrize("dataplane", DATAPLANES)
+def test_contended_hot_keys_stay_serializable(dataplane):
+    report = run_cluster(
+        seed=5, dataplane=dataplane, hot_fraction=0.8, n_hot=3, n_keys=64
+    )
+    assert report.ok, report.violation
+    if dataplane == "onesided":
+        # CAS lock races must show up as aborts, not as anomalies
+        assert report.aborts > 0
+
+
+def test_contention_hurts_onesided_more_than_rpc():
+    # The crossover mechanic: hot single-partition txns are one-shot
+    # RPCs (zero aborts) but CAS abort storms one-sided.
+    cold = run_cluster(seed=4, dataplane="onesided", hot_fraction=0.0)
+    hot = run_cluster(seed=4, dataplane="onesided", hot_fraction=0.9, n_hot=3)
+    assert hot.abort_rate > cold.abort_rate
+    hot_rpc = run_cluster(seed=4, dataplane="rpc", hot_fraction=0.9, n_hot=3)
+    assert hot_rpc.abort_rate < hot.abort_rate
+
+
+def test_read_only_workload_never_aborts_onesided():
+    report = run_cluster(seed=2, dataplane="onesided", read_only_fraction=1.0)
+    assert report.ok
+    assert report.commits > 0
+    assert report.aborts == 0
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dataplane", DATAPLANES)
+def test_fingerprint_reproducible(dataplane):
+    first = run_cluster(seed=7, dataplane=dataplane)
+    second = run_cluster(seed=7, dataplane=dataplane)
+    assert first.fingerprint == second.fingerprint
+    third = run_cluster(seed=8, dataplane=dataplane)
+    assert third.fingerprint != first.fingerprint
+
+
+# ---------------------------------------------------------------------------
+# crash-pause: the CPU-bypass contrast
+# ---------------------------------------------------------------------------
+
+
+def test_rpc_rides_out_a_server_pause_with_zero_torn_commits():
+    report = run_cluster(
+        seed=3, dataplane="rpc", crash=(0, 30_000.0, 40_000.0)
+    )
+    assert report.ok, report.violation
+    assert report.torn_writes == 0
+    assert report.commits > 0
+
+
+def test_onesided_commits_through_the_outage():
+    report = run_cluster(
+        seed=3, dataplane="onesided", crash=(0, 30_000.0, 40_000.0)
+    )
+    assert report.ok, report.violation
+    # one-sided commit never touches the server CPU: progress continues
+    # while the RPC dataplane's partition-0 poller is dead
+    assert report.commits_in_outage > 0
+
+
+# ---------------------------------------------------------------------------
+# observability counters
+# ---------------------------------------------------------------------------
+
+
+def test_txn_counters_reach_the_run_report():
+    with capture() as session:
+        rpc = run_cluster(seed=1, dataplane="rpc", hot_fraction=0.5, n_hot=4)
+        onesided = run_cluster(seed=1, dataplane="onesided", hot_fraction=0.5, n_hot=4)
+    runs = session.metrics_dict()["runs"]
+    assert len(runs) == 2
+    for report, counters in zip((rpc, onesided), (r["counters"] for r in runs)):
+        assert counters["txn.commits"] == report.commits
+        assert counters.get("txn.aborts", 0) == report.aborts
+    # the one-sided dataplane locks with remote atomics; RPC never does
+    assert runs[1]["counters"]["verbs.server.atomics"] > 0
+    assert "verbs.server.atomics" not in runs[0]["counters"]
+    assert onesided.server_counters["atomics_served"] > 0
+
+
+# ---------------------------------------------------------------------------
+# the FIFO queue both ways
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "dataplane,ticket_mode",
+    [("rpc", "cas"), ("onesided", "cas"), ("onesided", "faa")],
+)
+def test_queue_conserves_items(dataplane, ticket_mode):
+    cluster = TxnQueueCluster(
+        QueueConfig(dataplane=dataplane, ticket_mode=ticket_mode), seed=4
+    )
+    report = cluster.run()
+    assert report.ok, report.violations
+    assert report.enqueued == report.dequeued > 0
+
+
+def test_queue_faa_tickets_never_lose_the_claim_race():
+    cas = TxnQueueCluster(QueueConfig(dataplane="onesided", ticket_mode="cas"), seed=4).run()
+    faa = TxnQueueCluster(QueueConfig(dataplane="onesided", ticket_mode="faa"), seed=4).run()
+    assert cas.enq_retries > 0       # CAS ticket claims lose races
+    assert faa.enq_retries == 0      # FETCH_ADD cannot lose
+    assert faa.ok and cas.ok
+
+
+def test_queue_determinism():
+    runs = [
+        TxnQueueCluster(QueueConfig(dataplane="onesided"), seed=9).run().result.ops
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]

@@ -1,0 +1,195 @@
+"""The multi-key serializability checker against ground-truth histories.
+
+Mirrors test_ha_checker.py one level up: each case hand-builds a tiny
+transaction history with exactly one defensible verdict.  If the
+checker cannot reject textbook write skew or a torn commit on three
+transactions, its verdict on a full repro.txn run means nothing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ha import TxnRecord, check_serializable
+from repro.ha.checker import final_read_txn
+
+A, B, C = b"va" * 8, b"vb" * 8, b"vc" * 8
+ZERO = b"\x00" * 16
+
+
+def txn(tid, reads, writes, invoke, respond, status="committed", client=None):
+    return TxnRecord(
+        txn_id=tid,
+        client=tid if client is None else client,
+        reads=tuple(reads),
+        writes=tuple(writes),
+        invoke=invoke,
+        respond=respond,
+        status=status,
+    )
+
+
+def test_sequential_history_serializable():
+    history = [
+        txn(1, [], [(0, A)], 0, 1),
+        txn(2, [(0, A)], [(1, B)], 2, 3),
+        txn(3, [(0, A), (1, B)], [], 4, 5),
+    ]
+    assert check_serializable(history, initial={0: ZERO, 1: ZERO}) is None
+
+
+def test_read_of_initial_state():
+    assert check_serializable([txn(1, [(0, ZERO)], [], 0, 1)], initial={0: ZERO}) is None
+    assert check_serializable([txn(1, [(0, A)], [], 0, 1)], initial={0: ZERO}) is not None
+
+
+def test_write_skew_rejected():
+    # The canonical non-serializable OCC outcome: T1 reads x and writes
+    # y, T2 reads y and writes x, both reads observe the initial state.
+    # Either serial order forces one of them to see the other's write.
+    history = [
+        txn(1, [(0, ZERO)], [(1, A)], 0, 10),
+        txn(2, [(1, ZERO)], [(0, B)], 0, 10),
+    ]
+    assert check_serializable(history, initial={0: ZERO, 1: ZERO}) is not None
+
+
+def test_overlapping_transactions_commute_in_either_order():
+    # Same shape as write skew but the reads admit one serial order
+    # (T2 saw T1's write), so the history is fine.
+    history = [
+        txn(1, [(0, ZERO)], [(1, A)], 0, 10),
+        txn(2, [(1, A)], [(0, B)], 0, 10),
+    ]
+    assert check_serializable(history, initial={0: ZERO, 1: ZERO}) is None
+
+
+def test_real_time_order_enforced():
+    # T2 starts strictly after T1's commit was acknowledged, so T2 must
+    # serialize after T1 — reading the pre-T1 value is a strict
+    # serializability violation even though a serial order exists.
+    history = [
+        txn(1, [], [(0, A)], 0, 5),
+        txn(2, [(0, ZERO)], [], 10, 12),
+    ]
+    assert check_serializable(history, initial={0: ZERO}) is not None
+
+
+def test_stale_read_fine_while_concurrent():
+    # Same stale read, but T2 overlaps T1: it may serialize first.
+    history = [
+        txn(1, [], [(0, A)], 0, 5),
+        txn(2, [(0, ZERO)], [], 3, 12),
+    ]
+    assert check_serializable(history, initial={0: ZERO}) is None
+
+
+def test_pending_transaction_may_apply_or_not():
+    # The commit ack was lost: both final states are explainable.
+    history = [txn(1, [(0, ZERO)], [(0, A)], 0, None, status="pending")]
+    for final in ({0: ZERO}, {0: A}):
+        assert check_serializable(history, initial={0: ZERO}, final=final) is None
+    # ... but the store can't hold a value nobody wrote.
+    assert check_serializable(history, initial={0: ZERO}, final={0: B}) is not None
+
+
+def test_torn_commit_caught_by_final_state():
+    # One transaction wrote both keys; only one write landed.  No
+    # client ever read the keys again — the final store scan is what
+    # catches it.
+    history = [txn(1, [], [(0, A), (1, A)], 0, 1)]
+    assert check_serializable(history, initial={0: ZERO, 1: ZERO},
+                              final={0: A, 1: A}) is None
+    assert check_serializable(history, initial={0: ZERO, 1: ZERO},
+                              final={0: A, 1: ZERO}) is not None
+
+
+def test_aborted_writes_must_not_leak():
+    history = [
+        txn(1, [], [(0, A)], 0, 1),
+        txn(2, [], [(0, B)], 2, 3, status="aborted"),
+    ]
+    assert check_serializable(history, initial={0: ZERO}, final={0: A}) is None
+    # the aborted transaction's value in the store is a leak
+    assert check_serializable(history, initial={0: ZERO}, final={0: B}) is not None
+
+
+def test_response_before_invoke_rejected():
+    assert check_serializable([txn(1, [], [(0, A)], 5, 1)]) is not None
+
+
+def test_final_read_txn_serializes_after_everything():
+    history = [txn(1, [], [(0, A)], 0, 1)]
+    probe = final_read_txn(history, {0: A})
+    assert probe.invoke > 1
+    assert probe.writes == ()
+    assert dict(probe.reads) == {0: A}
+
+
+def test_disjoint_key_transactions_verify_without_search_blowup():
+    # 200 transactions, each on its own key, all mutually concurrent:
+    # naive Wing-Gong explores permutations; the partial-order
+    # reduction must commit each solo transaction as a forced step.
+    history = [txn(i, [(i, ZERO)], [(i, A)], 0, 1000) for i in range(200)]
+    final = {i: A for i in range(200)}
+    assert check_serializable(
+        history, initial={i: ZERO for i in range(200)}, final=final
+    ) is None
+
+
+def test_forced_step_still_detects_a_bad_solo_read():
+    # The reduction must not skip read validation on forced steps.
+    history = [
+        txn(1, [(0, B)], [(0, A)], 0, 1000),          # read nobody wrote
+        txn(2, [(5, ZERO)], [(5, C)], 0, 1000),
+    ]
+    assert check_serializable(history, initial={0: ZERO, 5: ZERO}) is not None
+
+
+# -- property: serial executions are always accepted -----------------------
+
+
+@st.composite
+def serial_history(draw):
+    """Execute random transactions truly one-at-a-time and log them."""
+    n_keys = draw(st.integers(2, 5))
+    store = {k: ZERO for k in range(n_keys)}
+    history = []
+    values = [A, B, C]
+    for i in range(draw(st.integers(1, 12))):
+        keys = draw(
+            st.lists(st.integers(0, n_keys - 1), min_size=1, max_size=3, unique=True)
+        )
+        wkeys = [k for k in keys if draw(st.booleans())]
+        reads = tuple((k, store[k]) for k in keys)
+        writes = tuple((k, values[draw(st.integers(0, 2))]) for k in wkeys)
+        for k, v in writes:
+            store[k] = v
+        history.append(txn(i, reads, writes, i * 10.0, i * 10.0 + 1.0))
+    return history, {k: store[k] for k in range(n_keys)}, n_keys
+
+
+@settings(max_examples=60, deadline=None)
+@given(serial_history())
+def test_serial_executions_always_serializable(case):
+    history, final, n_keys = case
+    initial = {k: ZERO for k in range(n_keys)}
+    assert check_serializable(history, initial=initial, final=final) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(serial_history(), st.randoms(use_true_random=False))
+def test_serial_executions_survive_concurrent_timestamps(case, rnd):
+    # Blur the real-time order: make every transaction concurrent with
+    # every other.  A valid serial execution must stay accepted no
+    # matter which permutation the checker has to discover.
+    history, final, n_keys = case
+    blurred = [
+        TxnRecord(
+            txn_id=t.txn_id, client=t.client, reads=t.reads, writes=t.writes,
+            invoke=0.0, respond=1000.0, status=t.status,
+        )
+        for t in history
+    ]
+    rnd.shuffle(blurred)
+    initial = {k: ZERO for k in range(n_keys)}
+    assert check_serializable(blurred, initial=initial, final=final) is None

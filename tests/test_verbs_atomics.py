@@ -1,0 +1,313 @@
+"""The remote atomics verbs: semantics, per-device serialization, replay.
+
+ATOMIC_CMP_AND_SWP and ATOMIC_FETCH_ADD are the primitives the
+one-sided transaction dataplane (repro.txn) locks and tickets with, so
+this file proves the properties that dataplane leans on: quadword
+read-modify-writes are serialized across *all* requesters of a device,
+the original value always comes back, and a lossy fabric cannot make
+an atomic execute twice.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.hw import APT, Fabric, Machine
+from repro.sim import Simulator
+from repro.verbs import (
+    Opcode,
+    RdmaDevice,
+    Transport,
+    VerbError,
+    WorkRequest,
+    connect_pair,
+)
+
+
+def make_world(n_clients=1, profile=APT):
+    sim = Simulator()
+    fabric = Fabric(sim, profile)
+    server = RdmaDevice(Machine(sim, fabric, "server"))
+    clients = [RdmaDevice(Machine(sim, fabric, "c%d" % i)) for i in range(n_clients)]
+    return sim, fabric, server, clients
+
+
+def put_u64(mr, offset, value):
+    mr.write(offset, value.to_bytes(8, "little"))
+
+
+def get_u64(mr, offset):
+    return int.from_bytes(mr.read(offset, 8), "little")
+
+
+# ---------------------------------------------------------------------------
+# single-op semantics
+# ---------------------------------------------------------------------------
+
+
+def test_cas_success_swaps_and_returns_original():
+    sim, fabric, server, (client,) = make_world()
+    mr = server.register_memory(64)
+    sink = client.register_memory(64)
+    put_u64(mr, 0, 41)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    client.post_send(
+        cqp,
+        WorkRequest.cmp_swap(
+            raddr=mr.addr, rkey=mr.rkey, compare=41, swap=99, local=(sink, 0, 8)
+        ),
+    )
+    sim.run_until_idle()
+    assert get_u64(mr, 0) == 99          # swapped
+    assert get_u64(sink, 0) == 41        # original returned
+    (cqe,) = cqp.send_cq.poll()
+    assert cqe.opcode is Opcode.ATOMIC_CS
+    assert server.atomics_served == 1
+
+
+def test_cas_mismatch_leaves_memory_untouched_but_still_returns_original():
+    sim, fabric, server, (client,) = make_world()
+    mr = server.register_memory(64)
+    sink = client.register_memory(64)
+    put_u64(mr, 0, 7)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    client.post_send(
+        cqp,
+        WorkRequest.cmp_swap(
+            raddr=mr.addr, rkey=mr.rkey, compare=0, swap=99, local=(sink, 0, 8)
+        ),
+    )
+    sim.run_until_idle()
+    assert get_u64(mr, 0) == 7           # compare failed: no mutation
+    assert get_u64(sink, 0) == 7         # loser still learns the value
+    assert server.atomics_served == 1    # a failed CAS is still an RMW
+
+
+def test_fetch_add_adds_and_wraps_at_u64():
+    sim, fabric, server, (client,) = make_world()
+    mr = server.register_memory(64)
+    sink = client.register_memory(64)
+    put_u64(mr, 0, 2**64 - 1)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    client.post_send(
+        cqp,
+        WorkRequest.fetch_add(raddr=mr.addr, rkey=mr.rkey, add=3, local=(sink, 0, 8)),
+    )
+    sim.run_until_idle()
+    assert get_u64(mr, 0) == 2           # (2**64 - 1 + 3) mod 2**64
+    assert get_u64(sink, 0) == 2**64 - 1
+
+
+# ---------------------------------------------------------------------------
+# operand validation and Table 1
+# ---------------------------------------------------------------------------
+
+
+def test_atomic_constructors_reject_bad_operands():
+    sim, fabric, server, (client,) = make_world()
+    mr = server.register_memory(64)
+    sink = client.register_memory(64)
+    with pytest.raises(VerbError, match="local sink"):
+        WorkRequest.cmp_swap(raddr=mr.addr, rkey=mr.rkey, compare=0, swap=1, local=None)
+    with pytest.raises(VerbError, match="exactly 8 bytes"):
+        WorkRequest.fetch_add(raddr=mr.addr, rkey=mr.rkey, add=1, local=(sink, 0, 4))
+    with pytest.raises(VerbError, match="aligned"):
+        WorkRequest.cmp_swap(
+            raddr=mr.addr + 3, rkey=mr.rkey, compare=0, swap=1, local=(sink, 0, 8)
+        )
+
+
+def test_hand_built_atomic_revalidated_at_post_time():
+    sim, fabric, server, (client,) = make_world()
+    mr = server.register_memory(64)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    wr = WorkRequest(Opcode.ATOMIC_FA, raddr=mr.addr, rkey=mr.rkey, local=None)
+    with pytest.raises(VerbError, match="local sink"):
+        client.post_send(cqp, wr)
+
+
+def test_atomics_cannot_be_inlined():
+    sim, fabric, server, (client,) = make_world()
+    mr = server.register_memory(64)
+    sink = client.register_memory(64)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    wr = WorkRequest.cmp_swap(
+        raddr=mr.addr, rkey=mr.rkey, compare=0, swap=1, local=(sink, 0, 8)
+    )
+    wr.inline = True
+    with pytest.raises(VerbError, match="inlined"):
+        client.post_send(cqp, wr)
+
+
+def test_atomics_need_a_reliable_transport():
+    # Table 1: the responder must be able to replay a lost response
+    # without re-executing the RMW, which needs reliable delivery.
+    sim, fabric, server, (client,) = make_world()
+    mr = server.register_memory(64)
+    sink = client.register_memory(64)
+    _sqp, cqp = connect_pair(server, client, Transport.UC)
+    wr = WorkRequest.fetch_add(raddr=mr.addr, rkey=mr.rkey, add=1, local=(sink, 0, 8))
+    with pytest.raises(VerbError, match="Table 1"):
+        client.post_send(cqp, wr)
+
+
+# ---------------------------------------------------------------------------
+# per-device serialization under concurrent issuers
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_fetch_adds_from_two_devices_never_lose_an_update():
+    """2N FETCH_ADDs racing from two requesters yield 2N distinct originals.
+
+    This is the atomicity proof: if any two RMWs overlapped, they would
+    read the same original and the final counter would fall short.
+    """
+    n = 8
+    sim, fabric, server, clients = make_world(n_clients=2)
+    mr = server.register_memory(64)
+    sinks, qps = [], []
+    for client in clients:
+        sink = client.register_memory(8 * n)
+        _sqp, cqp = connect_pair(server, client, Transport.RC)
+        sinks.append(sink)
+        qps.append(cqp)
+        for i in range(n):
+            client.post_send(
+                cqp,
+                WorkRequest.fetch_add(
+                    raddr=mr.addr, rkey=mr.rkey, add=1, local=(sink, 8 * i, 8)
+                ),
+            )
+    sim.run_until_idle()
+    assert get_u64(mr, 0) == 2 * n
+    originals = [get_u64(sink, 8 * i) for sink in sinks for i in range(n)]
+    assert sorted(originals) == list(range(2 * n))
+    assert server.atomics_served == 2 * n
+
+
+def test_concurrent_cas_elects_exactly_one_winner():
+    sim, fabric, server, clients = make_world(n_clients=4)
+    mr = server.register_memory(64)
+    sinks = []
+    for cid, client in enumerate(clients):
+        sink = client.register_memory(8)
+        _sqp, cqp = connect_pair(server, client, Transport.RC)
+        sinks.append(sink)
+        client.post_send(
+            cqp,
+            WorkRequest.cmp_swap(
+                raddr=mr.addr, rkey=mr.rkey, compare=0, swap=cid + 1,
+                local=(sink, 0, 8),
+            ),
+        )
+    sim.run_until_idle()
+    originals = [get_u64(sink, 0) for sink in sinks]
+    winners = [cid for cid, orig in enumerate(originals) if orig == 0]
+    assert len(winners) == 1             # the lock has exactly one holder
+    assert get_u64(mr, 0) == winners[0] + 1
+    # every loser observed some earlier holder, never a torn value
+    held = {0, winners[0] + 1}
+    assert all(orig in held for orig in originals)
+
+
+def test_simultaneous_atomics_pay_the_locked_pcie_window_back_to_back():
+    # Two RMWs posted at t=0 from different machines must not overlap
+    # the responder's locked PCIe occupancy: their completions are at
+    # least one pcie_atomic_ns apart.
+    sim, fabric, server, clients = make_world(n_clients=2)
+    mr = server.register_memory(64)
+    stamps = []
+    for client in clients:
+        sink = client.register_memory(8)
+        _sqp, cqp = connect_pair(server, client, Transport.RC)
+        client.post_send(
+            cqp,
+            WorkRequest.fetch_add(raddr=mr.addr, rkey=mr.rkey, add=1, local=(sink, 0, 8)),
+        )
+        stamps.append(cqp.send_cq)
+    sim.run_until_idle()
+    times = sorted(cq.poll()[0].timestamp for cq in stamps)
+    assert times[1] - times[0] >= APT.pcie_atomic_ns
+
+
+def test_atomics_share_the_read_credit_window_and_drain():
+    # More outstanding atomics than non-posted slots: the excess queues
+    # behind returned credits and every RMW still lands exactly once.
+    sim, fabric, server, (client,) = make_world()
+    mr = server.register_memory(64)
+    n = 24  # > the 16 outstanding-READ credits
+    sink = client.register_memory(8 * n)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    for i in range(n):
+        client.post_send(
+            cqp,
+            WorkRequest.fetch_add(
+                raddr=mr.addr, rkey=mr.rkey, add=1, local=(sink, 8 * i, 8)
+            ),
+        )
+    sim.run_until_idle()
+    assert get_u64(mr, 0) == n
+    assert sorted(get_u64(sink, 8 * i) for i in range(n)) == list(range(n))
+
+
+# ---------------------------------------------------------------------------
+# lossy fabric: retransmits must not re-execute the RMW
+# ---------------------------------------------------------------------------
+
+
+def test_lost_atomic_response_is_replayed_not_reexecuted():
+    sim, fabric, server, (client,) = make_world()
+    FaultPlan(seed=3).drop(
+        dst="c0", rate=1.0, end_ns=5_000.0, packet_kind="ATOMIC_RESP"
+    ).install(fabric)
+    mr = server.register_memory(64)
+    sink = client.register_memory(8)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    client.post_send(
+        cqp,
+        WorkRequest.fetch_add(raddr=mr.addr, rkey=mr.rkey, add=5, local=(sink, 0, 8)),
+    )
+    sim.run_until_idle(limit=10_000_000)
+    assert get_u64(mr, 0) == 5           # exactly once despite the retry
+    assert get_u64(sink, 0) == 0         # original answered from the cache
+    assert server.atomics_served == 1
+    assert server.atomic_replays >= 1
+    assert client.retransmits >= 1
+    assert len(cqp.send_cq) == 1
+
+
+def test_lost_atomic_request_is_retransmitted_and_served_once():
+    sim, fabric, server, (client,) = make_world()
+    FaultPlan(seed=3).drop(
+        dst="server", rate=1.0, end_ns=5_000.0, packet_kind="ATOMIC_REQ"
+    ).install(fabric)
+    mr = server.register_memory(64)
+    sink = client.register_memory(8)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    client.post_send(
+        cqp,
+        WorkRequest.cmp_swap(
+            raddr=mr.addr, rkey=mr.rkey, compare=0, swap=77, local=(sink, 0, 8)
+        ),
+    )
+    sim.run_until_idle(limit=10_000_000)
+    assert get_u64(mr, 0) == 77
+    assert server.atomics_served == 1
+    assert server.atomic_replays == 0    # the first copy never arrived
+    assert client.retransmits >= 1
+
+
+def test_atomics_counter_reaches_the_metrics_registry():
+    from repro.obs import capture
+
+    with capture() as session:
+        sim, fabric, server, (client,) = make_world()
+        mr = server.register_memory(64)
+        sink = client.register_memory(8)
+        _sqp, cqp = connect_pair(server, client, Transport.RC)
+        client.post_send(
+            cqp,
+            WorkRequest.fetch_add(raddr=mr.addr, rkey=mr.rkey, add=1, local=(sink, 0, 8)),
+        )
+        sim.run_until_idle()
+    counters = session.metrics_dict()["runs"][0]["counters"]
+    assert counters["verbs.server.atomics"] == 1
