@@ -1,6 +1,6 @@
 # Convenience targets for the HERD reproduction.
 
-.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke elastic-smoke engine-smoke qos-smoke txn-smoke clean
+.PHONY: install test bench figures figures-full examples metrics-smoke chaos-smoke ha-smoke lab-smoke elastic-smoke engine-smoke qos-smoke txn-smoke nemesis-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -178,6 +178,45 @@ txn-smoke:
 	python -m repro.lab.cli run txn --workers 2 --timeout 600
 	python -m repro.lab.cli gate txn \
 		--baseline benchmarks/baselines/txn.json
+
+# The nemesis gate (docs/NEMESIS.md): a bounded random-schedule search
+# across every dataplane must find zero invariant violations on
+# healthy configs; the planted-bug arm must find its failure, shrink
+# it to the single crash atom (deterministically — same seed, same
+# reproducer), and the frozen artifact must replay byte-identically
+# end to end through the CLI; then the nemesis sweep is gated against
+# its committed baseline, folding into BENCH_lab.json.
+nemesis-smoke:
+	python -m repro.bench.cli --nemesis 12 --nemesis-seed 7
+	python -c "from repro.nemesis import generate, run_schedule, shrink_schedule, resolve; \
+		from repro.faults.rng import derive_seed; \
+		oracles = resolve(('planted-no-crash',)); \
+		hits = [s for s in (generate(derive_seed(7, 'nemesis.planted.%d' % i), 'herd') \
+		for i in range(24)) if s.plan.crashes]; \
+		assert hits, 'no planted crash schedule in 24 draws'; \
+		found = hits[0]; \
+		assert not run_schedule(found, oracles).ok, 'planted bug not detected'; \
+		a = shrink_schedule(found, oracles); b = shrink_schedule(found, oracles); \
+		assert a.atoms_after == 1 and a.minimal, (a.atoms_after, a.minimal); \
+		assert a.fingerprint == b.fingerprint, 'nondeterministic shrink'; \
+		r = run_schedule(a.schedule, oracles); \
+		assert r.fingerprint == a.fingerprint and r.violations == a.violations; \
+		print('nemesis-smoke planted ok: %d -> %d atoms in %d tests, ' \
+		'minimal, replayed fingerprint %s' \
+		% (a.atoms_before, a.atoms_after, a.tests, a.fingerprint[:16]))"
+	python -c "from repro.nemesis import generate, run_schedule, shrink_schedule, \
+		resolve, build_artifact, save_artifact; \
+		from repro.faults.rng import derive_seed; \
+		oracles = ('planted-no-crash',); \
+		hits = [s for s in (generate(derive_seed(7, 'nemesis.planted.%d' % i), 'herd') \
+		for i in range(24)) if s.plan.crashes]; \
+		sh = shrink_schedule(hits[0], resolve(oracles)); \
+		save_artifact('/tmp/herd-nemesis-repro.json', \
+		build_artifact(run_schedule(sh.schedule, resolve(oracles)), oracles=oracles))"
+	python -m repro.bench.cli --nemesis-replay /tmp/herd-nemesis-repro.json
+	python -m repro.lab.cli run nemesis --workers 2 --timeout 600
+	python -m repro.lab.cli gate nemesis \
+		--baseline benchmarks/baselines/nemesis.json
 
 # The lab gate, end to end: a 4-point parallel sweep lands in the
 # result store, a re-run must be served entirely from cache, the

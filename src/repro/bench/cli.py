@@ -8,6 +8,8 @@ Examples::
     herd-bench all --scale bench
     herd-bench fig9 --metrics m.json --trace t.trace.json
     herd-bench --chaos --chaos-seed 7 --chaos-runs 3 --metrics m.json
+    herd-bench --nemesis 24 --nemesis-dir repros/
+    herd-bench --nemesis-replay repros/nemesis-ha-seed42.json
 """
 
 from __future__ import annotations
@@ -173,6 +175,63 @@ def _run_chaos(args) -> int:
     return 0
 
 
+def _run_nemesis(args) -> int:
+    """``herd-bench --nemesis N``: randomized schedule search.
+
+    Exit status 1 means the search found violations (artifacts, if a
+    directory was given, hold the shrunk reproducers) — on a healthy
+    tree a nemesis search is expected to exit 0.
+    """
+    from repro.nemesis import DATAPLANE_NAMES, search
+
+    dataplanes = None
+    if args.nemesis_dataplanes:
+        dataplanes = tuple(
+            name.strip() for name in args.nemesis_dataplanes.split(",") if name.strip()
+        )
+        unknown = sorted(set(dataplanes) - set(DATAPLANE_NAMES))
+        if unknown:
+            print(
+                "unknown dataplane%s %s (have: %s)"
+                % (
+                    "s" if len(unknown) > 1 else "",
+                    ", ".join(map(repr, unknown)),
+                    ", ".join(DATAPLANE_NAMES),
+                ),
+                file=sys.stderr,
+            )
+            return 2
+    started = time.time()
+    report = search(
+        args.nemesis,
+        seed=args.nemesis_seed,
+        dataplanes=dataplanes,
+        oracles=tuple(args.nemesis_oracle or ()),
+        artifact_dir=args.nemesis_dir,
+        progress=print,
+    )
+    print(report.summary())
+    print("[nemesis search took %.1f s]" % (time.time() - started))
+    return 0 if report.ok else 1
+
+
+def _run_nemesis_replay(args) -> int:
+    """``herd-bench --nemesis-replay PATH``: re-run a repro artifact.
+
+    Exit status 0 means the artifact reproduced byte-identically —
+    same violations, same fingerprint.
+    """
+    from repro.nemesis import replay
+
+    try:
+        result = replay(args.nemesis_replay)
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(result.summary())
+    return 0 if result.reproduced else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="herd-bench",
@@ -276,8 +335,55 @@ def main(argv=None) -> int:
         help="replication ack policy for --chaos-scenario runs "
         "(default majority)",
     )
+    parser.add_argument(
+        "--nemesis",
+        type=int,
+        default=None,
+        metavar="N",
+        help="search N randomized fault schedules across the dataplanes "
+        "(repro.nemesis): every failure is shrunk to a minimal "
+        "reproducer; exit 1 if any invariant was violated",
+    )
+    parser.add_argument(
+        "--nemesis-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="base seed for the nemesis search (default 0)",
+    )
+    parser.add_argument(
+        "--nemesis-dataplanes",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated dataplanes to torture (default: all of "
+        "herd, ha, elastic, qos, txn-rpc, txn-onesided)",
+    )
+    parser.add_argument(
+        "--nemesis-oracle",
+        action="append",
+        metavar="NAME",
+        help="layer a named extra oracle over the invariant suite "
+        "(repeatable; e.g. planted-no-crash, the planted-bug arm)",
+    )
+    parser.add_argument(
+        "--nemesis-dir",
+        default=None,
+        metavar="DIR",
+        help="write each failure's shrunk repro artifact (JSON) here",
+    )
+    parser.add_argument(
+        "--nemesis-replay",
+        default=None,
+        metavar="PATH",
+        help="re-run a nemesis repro artifact and verify it reproduces "
+        "byte-identically (exit 0 iff it does)",
+    )
     args = parser.parse_args(argv)
 
+    if args.nemesis_replay is not None:
+        return _run_nemesis_replay(args)
+    if args.nemesis is not None:
+        return _run_nemesis(args)
     if args.chaos:
         return _run_chaos(args)
 

@@ -329,7 +329,10 @@ class ElasticAgent:
                     self.migrations_aborted += 1
                     break
                 for mseq in sorted(src.unacked):
-                    keyhash, value = src.unacked[mseq]
+                    entry = src.unacked.get(mseq)
+                    if entry is None:
+                        continue  # acked while an earlier retransmit was in flight
+                    keyhash, value = entry
                     yield from self._ship(src, mseq, keyhash, value)
             if src.idle() and sim.now - src.last_event_ns >= node.heartbeat_ns:
                 # UD events can drop; re-announce until acted upon

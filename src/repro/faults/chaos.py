@@ -62,8 +62,12 @@ SCENARIOS = {
         "one client stalls, then releases its backlog as a thundering "
         "herd; shedding must absorb the head-of-line burst"
     ),
+    "nemesis": (
+        "a replicated cluster under a caller-supplied (generated) fault "
+        "schedule; every HA oracle on, no scenario fault pinned"
+    ),
 }
-HA_SCENARIOS = ("kill-primary", "partition-primary", "migrate-under-kill")
+HA_SCENARIOS = ("kill-primary", "partition-primary", "migrate-under-kill", "nemesis")
 OVERLOAD_SCENARIOS = ("flash-crowd", "aggressor-tenant", "slow-client")
 
 
@@ -502,7 +506,12 @@ def run_chaos(
             )
             scenario_rng = child_rng(seed, "chaos.scenario")
             victim = scenario_rng.randrange(config.n_server_processes)
-            if scenario == "kill-primary":
+            if scenario == "nemesis":
+                # the nemesis harness normally supplies its generated
+                # plan; with none given, background noise alone is the
+                # schedule — no pinned scenario fault
+                pass
+            elif scenario == "kill-primary":
                 plan.crash_server(
                     victim, at_ns=0.35 * horizon_ns, down_ns=0.3 * horizon_ns
                 )
@@ -788,9 +797,24 @@ def run_chaos(
             violations.append(
                 "%d backup high-water-mark regressions" % regressions
             )
+        # Fencing-epoch monotonicity: every config the monitor broadcast
+        # must carry a strictly larger epoch than the previous config of
+        # the same partition — a stalled epoch would let a deposed
+        # primary's acks survive fencing.
+        epoch_faults = 0
+        last_epoch: Dict[int, int] = {}
+        for partition, _primary, epoch in monitor.config_log:
+            prev = last_epoch.get(partition)
+            if prev is not None and epoch <= prev:
+                epoch_faults += 1
+                violations.append(
+                    "fencing epoch regressed on partition %d: %d after %d"
+                    % (partition, epoch, prev)
+                )
+            last_epoch[partition] = epoch
         checker_verdict = (
             "violated"
-            if (lin or ops_lost or brains or regressions)
+            if (lin or ops_lost or brains or regressions or epoch_faults)
             else "linearizable"
         )
         outage = monitor.outage_ns(up_to_ns=horizon_ns)

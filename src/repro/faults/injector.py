@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional
 
 from repro.faults.plan import (
     CORRUPT,
+    DEGRADE,
     DELAY,
     DROP,
     DUPLICATE,
@@ -74,6 +75,14 @@ class FaultInjector:
         self.metrics = getattr(self.sim, "metrics", None)
         self._link_rng = child_rng(plan.seed, "faults.link")
         self._rnr_rng = child_rng(plan.seed, "faults.rnr")
+        # Control-kind-selective rules (heartbeat/grant loss) need to
+        # peek at the HA control byte of SEND payloads; resolve the
+        # decoder once, and only when a rule actually asks for it.
+        self._ha_kind = None
+        if any(rule.ctrl_kind is not None for rule in plan.link_rules):
+            from repro.herd.wire import ha_kind
+
+            self._ha_kind = ha_kind
         self._install()
 
     # -- bookkeeping -------------------------------------------------------
@@ -144,13 +153,19 @@ class FaultInjector:
             return None
         now = self.sim.now
         kind_name = getattr(getattr(packet, "kind", None), "value", "")
+        ctrl_kind = None
+        if self._ha_kind is not None:
+            payload = getattr(packet, "payload", None)
+            if payload:
+                ctrl_kind = self._ha_kind(payload)
         drop_tag = None
         corrupt = False
         duplicate = 0
         dup_delay = 0.0
         extra_delay = 0.0
+        tx_mult = 1.0
         for rule in self.plan.link_rules:
-            if not rule.matches(src, dst, kind_name, now):
+            if not rule.matches(src, dst, kind_name, now, ctrl_kind):
                 continue
             if rule.rate < 1.0 and self._link_rng.random() >= rule.rate:
                 continue
@@ -166,10 +181,13 @@ class FaultInjector:
                 extra_delay += rule.extra_delay_ns
             elif rule.kind == REORDER:
                 extra_delay += self._link_rng.random() * rule.jitter_ns
+            elif rule.kind == DEGRADE:
+                extra_delay += rule.extra_delay_ns
+                tx_mult *= rule.tx_mult
         if drop_tag is not None:
             self.count("link.%s" % drop_tag)
             return LinkVerdict(drop=True)
-        if not (corrupt or duplicate or extra_delay):
+        if not (corrupt or duplicate or extra_delay or tx_mult != 1.0):
             return None
         if corrupt:
             self.count("link.corrupt")
@@ -177,11 +195,14 @@ class FaultInjector:
             self.count("link.duplicate", duplicate)
         if extra_delay:
             self.count("link.delayed")
+        if tx_mult != 1.0:
+            self.count("link.degraded")
         return LinkVerdict(
             corrupt=corrupt,
             duplicate=duplicate,
             extra_delay_ns=extra_delay,
             dup_delay_ns=dup_delay,
+            tx_mult=tx_mult,
         )
 
     def _judge_rnr(self, machine: str) -> bool:

@@ -31,8 +31,8 @@ exhaustion, process crashes, and link flaps.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional
 
 from repro.faults.rng import child_rng
 
@@ -44,6 +44,24 @@ CORRUPT = "corrupt"
 DUPLICATE = "duplicate"
 DELAY = "delay"
 REORDER = "reorder"
+DEGRADE = "degrade"
+
+
+def _packet_kind_pool() -> tuple:
+    """Every wire packet kind a kind-targeted link rule can name.
+
+    Derived from :class:`repro.verbs.packets.PacketKind` at import time
+    so the pool can never silently go stale: the day a new packet kind
+    lands (as ``ATOMIC_REQ``/``ATOMIC_RESP`` did with the transaction
+    dataplanes), randomized and nemesis-generated plans can target it.
+    """
+    from repro.verbs.packets import PacketKind
+
+    return tuple(kind.value for kind in PacketKind)
+
+
+#: the randomized kind pool (see :func:`_packet_kind_pool`)
+RANDOMIZED_KIND_POOL = _packet_kind_pool()
 
 
 def _check_rate(rate: float) -> None:
@@ -73,13 +91,22 @@ class LinkRule:
     start_ns: float = 0.0
     end_ns: float = _INF
     packet_kind: Optional[str] = None
-    extra_delay_ns: float = 0.0   # DELAY: deterministic added latency
+    extra_delay_ns: float = 0.0   # DELAY/DEGRADE: deterministic added latency
     jitter_ns: float = 0.0        # REORDER: uniform added latency bound
     copies: int = 1               # DUPLICATE: extra deliveries
     dup_delay_ns: float = 0.0     # DUPLICATE: spacing of the copies
+    tx_mult: float = 1.0          # DEGRADE: serialisation-time multiplier
+    ctrl_kind: Optional[int] = None  # restrict to one HA control kind
     tag: str = ""                 # counter label; defaults to the kind
 
-    def matches(self, src: str, dst: str, kind_name: str, now: float) -> bool:
+    def matches(
+        self,
+        src: str,
+        dst: str,
+        kind_name: str,
+        now: float,
+        ctrl_kind: Optional[int] = None,
+    ) -> bool:
         if not self.start_ns <= now < self.end_ns:
             return False
         if self.src != "*" and self.src != src:
@@ -87,6 +114,8 @@ class LinkRule:
         if self.dst != "*" and self.dst != dst:
             return False
         if self.packet_kind is not None and self.packet_kind != kind_name:
+            return False
+        if self.ctrl_kind is not None and self.ctrl_kind != ctrl_kind:
             return False
         return True
 
@@ -266,6 +295,107 @@ class FaultPlan:
         )
         return self
 
+    # -- gray failures ----------------------------------------------------
+
+    def degrade(
+        self,
+        src: str = "*",
+        dst: str = "*",
+        latency_add_ns: float = 0.0,
+        rate_mult: float = 1.0,
+        start_ns: float = 0.0,
+        end_ns: float = _INF,
+        packet_kind: Optional[str] = None,
+    ) -> "FaultPlan":
+        """A slow-but-alive link: gray failure, not death.
+
+        Matching packets still arrive, but each one serialises
+        ``1 / rate_mult`` times slower (a negotiated-down or
+        congested link) and carries ``latency_add_ns`` extra
+        propagation delay.  Nothing is lost, so retry machinery never
+        fires — exactly the failure mode timeout-based detectors are
+        worst at.
+        """
+        if not 0.0 < rate_mult <= 1.0:
+            raise ValueError("rate_mult must be in (0, 1], got %r" % (rate_mult,))
+        _check_time("latency_add_ns", latency_add_ns)
+        if latency_add_ns == 0.0 and rate_mult == 1.0:
+            raise ValueError("degrade must slow something down")
+        self.link_rules.append(
+            LinkRule(
+                DEGRADE, src, dst, 1.0, start_ns, end_ns, packet_kind,
+                extra_delay_ns=latency_add_ns, tx_mult=1.0 / rate_mult,
+            )
+        )
+        return self
+
+    def partition_oneway(
+        self,
+        src: str,
+        dst: str,
+        start_ns: float = 0.0,
+        end_ns: float = _INF,
+    ) -> "FaultPlan":
+        """An asymmetric partition: ``src -> dst`` traffic vanishes
+        while the reverse direction keeps flowing.
+
+        The classic gray failure for lease protocols — one side
+        believes the link is healthy while the other's messages never
+        arrive.  Sugar for a total-loss one-direction drop rule.
+        """
+        if src == "*" and dst == "*":
+            raise ValueError("a one-way partition needs a src or dst machine")
+        if src == dst:
+            raise ValueError("src and dst must differ")
+        self.link_rules.append(
+            LinkRule(DROP, src, dst, 1.0, start_ns, end_ns, tag="partition1w")
+        )
+        return self
+
+    def lose_heartbeats(
+        self,
+        machine: str,
+        rate: float = 1.0,
+        start_ns: float = 0.0,
+        end_ns: float = _INF,
+        direction: str = "to_monitor",
+        monitor: str = "monitor",
+    ) -> "FaultPlan":
+        """Heartbeat-selective loss on one replica machine's control
+        traffic, leaving the data path untouched.
+
+        ``direction="to_monitor"`` drops the machine's heartbeats
+        before they reach the lease monitor (the monitor declares it
+        dead while it keeps serving until its lease lapses);
+        ``direction="from_monitor"`` drops the monitor's GRANTs back
+        (the primary self-demotes while the monitor still believes it
+        alive).  Either makes :class:`repro.ha.detector.LeaseMonitor`
+        flap without a single data packet being lost.
+        """
+        from repro.herd import wire  # deferred: avoids an import cycle
+
+        _check_rate(rate)
+        if direction == "to_monitor":
+            self.link_rules.append(
+                LinkRule(
+                    DROP, machine, monitor, rate, start_ns, end_ns, "SEND",
+                    ctrl_kind=wire.CTRL_HEARTBEAT, tag="hb_loss",
+                )
+            )
+        elif direction == "from_monitor":
+            self.link_rules.append(
+                LinkRule(
+                    DROP, monitor, machine, rate, start_ns, end_ns, "SEND",
+                    ctrl_kind=wire.CTRL_GRANT, tag="grant_loss",
+                )
+            )
+        else:
+            raise ValueError(
+                "direction must be 'to_monitor' or 'from_monitor', got %r"
+                % (direction,)
+            )
+        return self
+
     # -- device / process faults ------------------------------------------
 
     def nic_stall(
@@ -335,12 +465,17 @@ class FaultPlan:
 
     @property
     def empty(self) -> bool:
+        # ``flaps`` is normally redundant (flap_link adds sugar link
+        # rules too), but a plan rebuilt from a serialized dict — or
+        # constructed field-by-field — may carry flap records alone;
+        # it must not read as empty.
         return not (
             self.link_rules
             or self.nic_stalls
             or self.qp_errors
             or self.rnr_rules
             or self.crashes
+            or self.flaps
         )
 
     def install(self, target):
@@ -355,33 +490,54 @@ class FaultPlan:
         return FaultInjector(self, target)
 
     def describe(self) -> str:
-        """A human-readable one-line-per-rule summary."""
+        """A human-readable one-line-per-rule summary.
+
+        Every rule type renders exactly once: flap sugar drops are
+        folded into one ``flap`` line (they used to double-render as
+        two anonymous drops while the flap itself was silently
+        dropped), and per-kind parameters (delay, jitter, copies,
+        degradation multipliers) appear instead of vanishing.
+        """
         lines = ["FaultPlan(seed=%d)" % self.seed]
         for rule in self.link_rules:
+            if rule.tag == "flap":
+                continue  # rendered from self.flaps below, once
             window = (
                 ""
                 if rule.end_ns == _INF and rule.start_ns == 0.0
                 else " during [%.0f, %.0f) ns" % (rule.start_ns, rule.end_ns)
             )
+            if rule.kind == DELAY:
+                detail = " +%.0f ns" % rule.extra_delay_ns
+            elif rule.kind == REORDER:
+                detail = " jitter<%.0f ns" % rule.jitter_ns
+            elif rule.kind == DUPLICATE:
+                detail = " x%d every %.0f ns" % (rule.copies, rule.dup_delay_ns)
+            elif rule.kind == DEGRADE:
+                detail = " tx x%.3g +%.0f ns" % (rule.tx_mult, rule.extra_delay_ns)
+            else:
+                detail = ""
             lines.append(
-                "  %-9s %s->%s rate=%g%s%s"
+                "  %-11s %s->%s rate=%g%s%s%s%s"
                 % (
                     rule.tag or rule.kind,
                     rule.src,
                     rule.dst,
                     rule.rate,
                     " kind=%s" % rule.packet_kind if rule.packet_kind else "",
+                    " ctrl=%d" % rule.ctrl_kind if rule.ctrl_kind is not None else "",
+                    detail,
                     window,
                 )
             )
         for stall in self.nic_stalls:
             lines.append(
-                "  nic-stall %s.%s at %.0f ns for %.0f ns"
+                "  nic-stall   %s.%s at %.0f ns for %.0f ns"
                 % (stall.machine, stall.engine, stall.at_ns, stall.duration_ns)
             )
         for qpe in self.qp_errors:
             lines.append(
-                "  qp-error  %s qp%d at %.0f ns%s"
+                "  qp-error    %s qp%d at %.0f ns%s"
                 % (
                     qpe.machine,
                     qpe.qpn,
@@ -393,13 +549,18 @@ class FaultPlan:
             )
         for rnr in self.rnr_rules:
             lines.append(
-                "  rnr       %s rate=%g during [%.0f, %.0f) ns"
+                "  rnr         %s rate=%g during [%.0f, %.0f) ns"
                 % (rnr.machine, rnr.rate, rnr.start_ns, rnr.end_ns)
             )
         for crash in self.crashes:
             lines.append(
-                "  crash     server %d at %.0f ns, down %.0f ns"
+                "  crash       server %d at %.0f ns, down %.0f ns"
                 % (crash.server_index, crash.at_ns, crash.down_ns)
+            )
+        for flap in self.flaps:
+            lines.append(
+                "  flap        %s at %.0f ns, down %.0f ns"
+                % (flap.machine, flap.at_ns, flap.down_ns)
             )
         return "\n".join(lines)
 
@@ -414,6 +575,7 @@ class FaultPlan:
         intensity: float = 1.0,
         crash: bool = True,
         rnr_machine: Optional[str] = None,
+        targeted_kinds: bool = False,
     ) -> "FaultPlan":
         """A seeded random chaos mix, all faults within ``horizon_ns``.
 
@@ -424,6 +586,14 @@ class FaultPlan:
         names a machine whose RECV ring intermittently runs dry — in
         HERD that must be a *client* machine (responses are the only
         SENDs on the wire; requests are WRITEs and need no RECV).
+
+        ``targeted_kinds=True`` additionally draws two packet kinds
+        from :data:`RANDOMIZED_KIND_POOL` — the full wire vocabulary,
+        including the transaction dataplanes' ``ATOMIC_REQ`` /
+        ``ATOMIC_RESP`` — and aims a windowed drop rule at each.  The
+        extra rules draw from their own named child stream, so the
+        classic mix above is byte-identical whether or not kind
+        targeting is on.
         """
         if horizon_ns <= 0:
             raise ValueError("horizon_ns must be > 0")
@@ -462,11 +632,25 @@ class FaultPlan:
                 at_ns=at,
                 down_ns=u(0.1, 0.25) * horizon_ns,
             )
+        if targeted_kinds:
+            krng = child_rng(seed, "faults.randomized.kinds")
+            for kind in krng.sample(RANDOMIZED_KIND_POOL, 2):
+                plan.drop(
+                    rate=min(1.0, krng.uniform(0.01, 0.06) * scale),
+                    start_ns=krng.uniform(0.0, 0.4) * horizon_ns,
+                    end_ns=krng.uniform(0.6, 1.0) * horizon_ns,
+                    packet_kind=kind,
+                )
         return plan
 
     def clamped(self, end_ns: float) -> "FaultPlan":
         """A copy whose open-ended link/rnr windows close at ``end_ns``
-        (used by the chaos harness so the drain phase is fault-free)."""
+        (used by the chaos harness so the drain phase is fault-free).
+
+        Flap records are clamped alongside their sugar drop rules, so a
+        clamped plan's ``describe()`` and serialized form agree with
+        the rules that actually fire.
+        """
         plan = FaultPlan(seed=self.seed)
         plan.link_rules = [
             replace(rule, end_ns=min(rule.end_ns, end_ns)) for rule in self.link_rules
@@ -477,5 +661,62 @@ class FaultPlan:
             replace(rule, end_ns=min(rule.end_ns, end_ns)) for rule in self.rnr_rules
         ]
         plan.crashes = list(self.crashes)
-        plan.flaps = list(self.flaps)
+        plan.flaps = [
+            replace(
+                flap,
+                down_ns=max(0.0, min(flap.down_ns, end_ns - flap.at_ns)),
+            )
+            for flap in self.flaps
+        ]
+        return plan
+
+    # -- serialization (nemesis repro artifacts) ---------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict capturing every rule byte-for-byte.
+
+        Open-ended windows (``inf``) encode as the string ``"inf"`` so
+        artifacts stay strict JSON.
+        """
+
+        def enc(rule) -> Dict[str, Any]:
+            out = {}
+            for key, value in asdict(rule).items():
+                if isinstance(value, float) and math.isinf(value):
+                    value = "inf"
+                out[key] = value
+            return out
+
+        return {
+            "seed": self.seed,
+            "link_rules": [enc(r) for r in self.link_rules],
+            "nic_stalls": [enc(r) for r in self.nic_stalls],
+            "qp_errors": [enc(r) for r in self.qp_errors],
+            "rnr_rules": [enc(r) for r in self.rnr_rules],
+            "crashes": [enc(r) for r in self.crashes],
+            "flaps": [enc(r) for r in self.flaps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict` exactly."""
+
+        def dec(cls_, raw: Dict[str, Any]):
+            known = {f.name for f in fields(cls_)}
+            kwargs = {}
+            for key, value in raw.items():
+                if key not in known:
+                    raise ValueError(
+                        "unknown %s field %r in plan dict" % (cls_.__name__, key)
+                    )
+                kwargs[key] = _INF if value == "inf" else value
+            return cls_(**kwargs)
+
+        plan = cls(seed=int(data.get("seed", 0)))
+        plan.link_rules = [dec(LinkRule, r) for r in data.get("link_rules", ())]
+        plan.nic_stalls = [dec(NicStallRule, r) for r in data.get("nic_stalls", ())]
+        plan.qp_errors = [dec(QpErrorRule, r) for r in data.get("qp_errors", ())]
+        plan.rnr_rules = [dec(RnrRule, r) for r in data.get("rnr_rules", ())]
+        plan.crashes = [dec(CrashRule, r) for r in data.get("crashes", ())]
+        plan.flaps = [dec(FlapRule, r) for r in data.get("flaps", ())]
         return plan

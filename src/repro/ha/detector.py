@@ -107,6 +107,12 @@ class LeaseMonitor:
         self.configs_sent = 0
         #: (partition, lost_ns, adopted_ns) per primary outage
         self.outages: List[Tuple[int, float, float]] = []
+        #: every config the monitor ever broadcast, in order:
+        #: (partition, primary or None, epoch).  The fencing-epoch
+        #: monotonicity oracle (repro.nemesis) audits this — an epoch
+        #: that fails to advance on a config change would let a deposed
+        #: primary's acks survive fencing.
+        self.config_log: List[Tuple[int, Optional[int], int]] = []
 
         metrics = getattr(sim, "metrics", None)
         self._failover_hist = None
@@ -235,6 +241,8 @@ class LeaseMonitor:
         # every wired replica hears the config (non-members included:
         # a dead node's messages simply vanish, and a recovering node
         # may catch the broadcast before its first heartbeat)
+        st0 = self.state[partition]
+        self.config_log.append((partition, st0.primary, st0.epoch))
         for replica in sorted(self.replica_ahs):
             yield from self._send_config(partition, replica)
         st = self.state[partition]

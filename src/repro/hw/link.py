@@ -41,7 +41,9 @@ class LinkVerdict:
     the packet still consumes wire and ingress-engine capacity.
     ``duplicate`` delivers that many extra copies, each ``dup_delay_ns``
     apart.  ``extra_delay_ns`` is added to the propagation delay, which
-    reorders the packet relative to later traffic.
+    reorders the packet relative to later traffic.  ``tx_mult`` scales
+    the serialisation time (a degraded, slow-but-alive link); 1.0 is
+    neutral.
     """
 
     drop: bool = False
@@ -49,6 +51,7 @@ class LinkVerdict:
     duplicate: int = 0
     extra_delay_ns: float = 0.0
     dup_delay_ns: float = 0.0
+    tx_mult: float = 1.0
 
 
 #: A fault hook: judges one transmission, None means "no opinion".
@@ -164,6 +167,8 @@ class Fabric:
             self.corrupted += 1
         extra_delay = verdict.extra_delay_ns if verdict is not None else 0.0
         tx_time = wire_bytes / self.profile.link_bw
+        if verdict is not None and verdict.tx_mult != 1.0:
+            tx_time *= max(1.0, verdict.tx_mult)
         dst_port = self.ports[dst]
         tracer = getattr(self.sim, "tracer", None)
         if tracer is not None:

@@ -351,6 +351,19 @@ def _txn() -> SweepSpec:
     )
 
 
+def _nemesis() -> SweepSpec:
+    return SweepSpec(
+        name="nemesis",
+        task="nemesis",
+        base=dict(n_schedules=6, planted_cap=24),
+        axes=[Axis("seed", [1, 3])],
+        description="randomized chaos-schedule search: the healthy arm must "
+        "find zero invariant violations across the dataplanes, and the "
+        "planted-bug arm must find its failure, shrink it to the crash "
+        "atom alone, and replay the minimal reproducer byte-identically",
+    )
+
+
 def _figures() -> SweepSpec:
     return SweepSpec(
         name="figures",
@@ -372,6 +385,7 @@ BUILTIN_SPECS = {
     "elasticity": _elasticity,
     "overload": _overload,
     "txn": _txn,
+    "nemesis": _nemesis,
     "engine": _engine,
     "figures": _figures,
 }

@@ -51,6 +51,9 @@ def metric_direction(name: str) -> int:
         "speedup",
         "dispatch_match",
         "goodput_ratio",
+        "planted_found",
+        "planted_minimal",
+        "planted_replay_identical",
     ):
         return 1
     if short.endswith(("_us", "_ns")) or short in (
@@ -318,6 +321,74 @@ def run_txn_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     return metrics
 
 
+def run_nemesis_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """Bounded nemesis search: a healthy arm and a planted-bug arm.
+
+    The healthy arm searches ``n_schedules`` randomized fault schedules
+    across the dataplanes and must find **zero** violations — that is
+    the robustness contract this task gates.  The planted arm layers
+    the ``planted-no-crash`` oracle (server crashes are declared a bug)
+    over up to ``planted_cap`` schedules, and the machinery itself is
+    then on trial: the search must find the planted failure, the
+    shrinker must reduce it to the crash atom alone (verified
+    1-minimal), and the minimal reproducer must re-run byte-identically
+    (fingerprint and violations both matching).
+    """
+    from repro.faults.rng import derive_seed
+    from repro.nemesis import generate, run_schedule, search, shrink_schedule
+    from repro.nemesis.oracle import resolve
+
+    seed = int(params.get("seed", seed))
+    n = int(params.get("n_schedules", 12))
+    planted_cap = int(params.get("planted_cap", 24))
+    dataplanes = params.get("dataplanes")
+    if dataplanes is not None:
+        dataplanes = tuple(dataplanes)
+    healthy = search(n, seed=seed, dataplanes=dataplanes, shrink=False)
+
+    oracles = resolve(("planted-no-crash",))
+    planted_found = 0.0
+    planted_atoms = 0.0
+    planted_minimal = 0.0
+    planted_replay_identical = 0.0
+    shrink_tests = 0.0
+    for i in range(planted_cap):
+        schedule = generate(derive_seed(seed, "nemesis.planted.%d" % i), "herd")
+        result = run_schedule(schedule, oracles)
+        if result.ok:
+            continue
+        planted_found = 1.0
+        shrunk = shrink_schedule(schedule, extra_oracles=oracles)
+        planted_atoms = float(shrunk.atoms_after)
+        planted_minimal = 1.0 if shrunk.minimal else 0.0
+        shrink_tests = float(shrunk.tests)
+        replayed = run_schedule(shrunk.schedule, oracles)
+        planted_replay_identical = (
+            1.0
+            if replayed.fingerprint == shrunk.fingerprint
+            and replayed.violations == shrunk.violations
+            else 0.0
+        )
+        break
+    ok = (
+        healthy.ok
+        and planted_found
+        and planted_atoms == 1.0
+        and planted_minimal
+        and planted_replay_identical
+    )
+    return {
+        "ok": 1.0 if ok else 0.0,
+        "examined": float(healthy.examined),
+        "violations": float(len(healthy.failures)),
+        "planted_found": planted_found,
+        "planted_atoms": planted_atoms,
+        "planted_minimal": planted_minimal,
+        "planted_replay_identical": planted_replay_identical,
+        "shrink_tests": shrink_tests,
+    }
+
+
 def run_engine_task(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     """Event-kernel micro-benchmark: sorted-run calendar vs the heap.
 
@@ -476,6 +547,7 @@ TASKS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, float]]] = {
     "elastic": run_elastic_task,
     "qos": run_qos_task,
     "txn": run_txn_task,
+    "nemesis": run_nemesis_task,
     "engine": run_engine_task,
     "figure": run_figure_task,
     "selftest": run_selftest_task,
@@ -506,6 +578,13 @@ HEADLINE_METRICS = {
         "p999_us",
     ),
     "txn": ("ok", "mops", "abort_rate", "p99_us"),
+    "nemesis": (
+        "ok",
+        "violations",
+        "planted_found",
+        "planted_atoms",
+        "planted_replay_identical",
+    ),
     "engine": ("speedup", "dispatch_match"),
     "figure": None,  # None = every figure cell is a headline metric
     "selftest": ("mops", "value"),

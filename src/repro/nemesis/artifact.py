@@ -1,0 +1,119 @@
+"""Repro artifacts: a failing schedule, frozen as strict JSON.
+
+An artifact records everything needed to re-run a failure
+byte-identically: the schedule (dataplane + seed + the exact plan,
+usually the shrunk one), the oracle names that were active, the
+violations observed, and the run's determinism fingerprint.
+:func:`replay` re-runs the schedule through the same
+:func:`~repro.nemesis.dataplanes.run_schedule` path and verifies both
+that the violations still fire and that the fingerprint matches the
+recorded one bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.nemesis.dataplanes import NemesisResult, run_schedule
+from repro.nemesis.oracle import resolve
+from repro.nemesis.schedule import Schedule
+
+ARTIFACT_VERSION = 1
+
+
+def build_artifact(
+    result: NemesisResult,
+    oracles: Sequence[str] = (),
+    shrink_stats: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Freeze one failing result (typically post-shrink) as a dict."""
+    return {
+        "version": ARTIFACT_VERSION,
+        "kind": "nemesis-repro",
+        "schedule": result.schedule.to_dict(),
+        "oracles": list(oracles),
+        "violations": list(result.violations),
+        "fingerprint": result.fingerprint,
+        "shrink": dict(shrink_stats) if shrink_stats is not None else None,
+    }
+
+
+def save_artifact(path: str, artifact: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        artifact = json.load(fh)
+    if artifact.get("kind") != "nemesis-repro":
+        raise ValueError("%s is not a nemesis repro artifact" % (path,))
+    if artifact.get("version") != ARTIFACT_VERSION:
+        raise ValueError(
+            "artifact version %r unsupported (expected %d)"
+            % (artifact.get("version"), ARTIFACT_VERSION)
+        )
+    return artifact
+
+
+@dataclass
+class ReplayResult:
+    """A replayed artifact, with the byte-identity verdicts."""
+
+    result: NemesisResult
+    expected_fingerprint: str
+    expected_violations: List[str] = field(default_factory=list)
+
+    @property
+    def fingerprint_identical(self) -> bool:
+        return self.result.fingerprint == self.expected_fingerprint
+
+    @property
+    def violations_match(self) -> bool:
+        return self.result.violations == self.expected_violations
+
+    @property
+    def reproduced(self) -> bool:
+        return self.fingerprint_identical and self.violations_match
+
+    def summary(self) -> str:
+        lines = [
+            "replay %s seed=%d: %s"
+            % (
+                self.result.dataplane,
+                self.result.schedule.seed,
+                "reproduced byte-identically"
+                if self.reproduced
+                else "DID NOT REPRODUCE",
+            )
+        ]
+        lines.append(
+            "  fingerprint %s (%s)"
+            % (
+                self.result.fingerprint[:16],
+                "identical" if self.fingerprint_identical else
+                "expected %s" % self.expected_fingerprint[:16],
+            )
+        )
+        for violation in self.result.violations:
+            lines.append("  VIOLATION: %s" % violation)
+        if not self.violations_match:
+            for violation in self.expected_violations:
+                lines.append("  EXPECTED:  %s" % violation)
+        return "\n".join(lines)
+
+
+def replay(path: str) -> ReplayResult:
+    """Re-run an artifact and check it reproduces byte-identically."""
+    artifact = load_artifact(path)
+    schedule = Schedule.from_dict(artifact["schedule"])
+    oracles = resolve(artifact.get("oracles", ()))
+    result = run_schedule(schedule, oracles)
+    return ReplayResult(
+        result=result,
+        expected_fingerprint=artifact["fingerprint"],
+        expected_violations=list(artifact.get("violations", ())),
+    )

@@ -1,0 +1,154 @@
+"""The nemesis search loop: many schedules, every oracle, shrink on red.
+
+:func:`search` generates ``n_schedules`` independent schedules (seeded
+as named children of the base seed, so schedule *i* is the same
+forever regardless of how many run before it), round-robins them over
+the requested dataplanes, and runs each through
+:func:`~repro.nemesis.dataplanes.run_schedule`.  Every failure is
+shrunk to a locally-minimal reproducer and (optionally) frozen as a
+JSON artifact that ``herd-bench --nemesis-replay`` re-runs
+byte-identically.
+
+On a healthy tree the expected outcome of any search is **zero
+violations** — that is the robustness claim the nemesis gate pins.
+The planted-bug arm (``oracles=("planted-no-crash",)``) inverts the
+game to prove the machinery works: the search must find the planted
+failure, and the shrinker must reduce it to the crash atom alone.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.faults.rng import derive_seed
+from repro.nemesis.artifact import build_artifact, save_artifact
+from repro.nemesis.dataplanes import NemesisResult, run_schedule
+from repro.nemesis.oracle import resolve
+from repro.nemesis.schedule import DATAPLANE_NAMES, Schedule, generate
+from repro.nemesis.shrink import ShrinkResult, shrink_schedule
+
+
+@dataclass
+class FailureCase:
+    """One failing schedule: as found, and as shrunk."""
+
+    result: NemesisResult
+    shrunk: Optional[ShrinkResult] = None
+    artifact_path: Optional[str] = None
+
+
+@dataclass
+class SearchReport:
+    """Everything one search examined and everything it found."""
+
+    seed: int
+    examined: int = 0
+    per_dataplane: Dict[str, int] = field(default_factory=dict)
+    failures: List[FailureCase] = field(default_factory=list)
+    oracles: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            "nemesis search seed=%d: %d schedules examined (%s), %d failure(s)%s"
+            % (
+                self.seed,
+                self.examined,
+                ", ".join(
+                    "%s=%d" % kv for kv in sorted(self.per_dataplane.items())
+                ),
+                len(self.failures),
+                " [oracles: %s]" % ", ".join(self.oracles) if self.oracles else "",
+            )
+        ]
+        for case in self.failures:
+            lines.append("  " + case.result.summary().replace("\n", "\n  "))
+            if case.shrunk is not None:
+                lines.append("  " + case.shrunk.summary())
+            if case.artifact_path is not None:
+                lines.append("  artifact: %s" % case.artifact_path)
+        return "\n".join(lines)
+
+
+def search(
+    n_schedules: int,
+    seed: int = 0,
+    dataplanes: Optional[Sequence[str]] = None,
+    oracles: Sequence[str] = (),
+    shrink: bool = True,
+    shrink_budget: int = 400,
+    artifact_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SearchReport:
+    """Run the randomized schedule search; see the module docstring.
+
+    ``oracles`` are registry names (:mod:`repro.nemesis.oracle`), so
+    artifacts can record them and replays re-apply them.  ``progress``
+    is an optional line sink (e.g. ``print``) for long searches.
+    """
+    if n_schedules < 1:
+        raise ValueError("n_schedules must be >= 1")
+    names = tuple(dataplanes) if dataplanes else DATAPLANE_NAMES
+    for name in names:
+        if name not in DATAPLANE_NAMES:
+            raise ValueError(
+                "unknown dataplane %r (have: %s)"
+                % (name, ", ".join(DATAPLANE_NAMES))
+            )
+    extra = resolve(oracles)
+    report = SearchReport(seed=seed, oracles=list(oracles))
+    for i in range(n_schedules):
+        dataplane = names[i % len(names)]
+        schedule = generate(derive_seed(seed, "nemesis.search.%d" % i), dataplane)
+        result = run_schedule(schedule, extra)
+        report.examined += 1
+        report.per_dataplane[dataplane] = (
+            report.per_dataplane.get(dataplane, 0) + 1
+        )
+        if result.ok:
+            continue
+        case = FailureCase(result=result)
+        if progress is not None:
+            progress(
+                "nemesis: %s seed=%d FAILED (%d violation(s)); shrinking"
+                % (dataplane, schedule.seed, len(result.violations))
+            )
+        if shrink:
+            case.shrunk = shrink_schedule(
+                schedule, extra_oracles=extra, max_tests=shrink_budget
+            )
+        if artifact_dir is not None:
+            frozen = case.shrunk
+            artifact = build_artifact(
+                NemesisResult(
+                    schedule=frozen.schedule if frozen else schedule,
+                    violations=list(
+                        frozen.violations if frozen else result.violations
+                    ),
+                    fingerprint=(
+                        frozen.fingerprint if frozen else result.fingerprint
+                    ),
+                ),
+                oracles=oracles,
+                shrink_stats=None
+                if frozen is None
+                else {
+                    "atoms_before": frozen.atoms_before,
+                    "atoms_after": frozen.atoms_after,
+                    "tests": frozen.tests,
+                    "minimal": frozen.minimal,
+                },
+            )
+            path = os.path.join(
+                artifact_dir,
+                "nemesis-%s-seed%d.json" % (dataplane, schedule.seed),
+            )
+            save_artifact(path, artifact)
+            case.artifact_path = path
+        report.failures.append(case)
+    return report

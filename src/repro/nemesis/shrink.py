@@ -1,0 +1,248 @@
+"""Delta-debugging shrinker: failing schedule -> minimal reproducer.
+
+A failing schedule's plan is decomposed into *atoms* — one per logical
+fault (a flap counts once, not as its two sugar drop rules).  Three
+passes then minimize it, re-running the full dataplane + oracle suite
+after **every** candidate removal (nothing is ever dropped on faith):
+
+1. **ddmin** (Zeller's delta debugging) over the atom list, with the
+   classic complement-and-regranularize loop;
+2. an explicit **1-minimality** sweep: every surviving atom is removed
+   alone once more and the schedule re-verified to still fail without
+   it being impossible — i.e. removing any single atom makes the
+   failure disappear;
+3. **window halving**: each surviving atom's time window (or downtime)
+   is repeatedly halved while the schedule still fails, so the final
+   reproducer is tight in time as well as in rule count.
+
+Every run is memoized on the serialized plan, and a test budget bounds
+the worst case; if the budget runs out mid-pass the best plan found so
+far is returned with ``minimal=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.nemesis.dataplanes import Oracle, run_schedule
+from repro.nemesis.schedule import Schedule
+
+#: an atom: ("link"|"stall"|"qp"|"rnr"|"crash"|"flap", the rule)
+Atom = Tuple[str, object]
+
+#: windows are not halved below this span (simulation noise floor)
+MIN_SPAN_NS = 1_000.0
+
+
+def atoms_of(plan: FaultPlan) -> List[Atom]:
+    """Decompose a plan into independent removable faults.
+
+    Flap sugar drop rules (``tag == "flap"``) are folded into their
+    flap record: the shrinker removes or keeps a flap as one unit, and
+    :func:`plan_from_atoms` regenerates the sugar.
+    """
+    atoms: List[Atom] = []
+    for rule in plan.link_rules:
+        if rule.tag != "flap":
+            atoms.append(("link", rule))
+    atoms.extend(("stall", r) for r in plan.nic_stalls)
+    atoms.extend(("qp", r) for r in plan.qp_errors)
+    atoms.extend(("rnr", r) for r in plan.rnr_rules)
+    atoms.extend(("crash", r) for r in plan.crashes)
+    atoms.extend(("flap", r) for r in plan.flaps)
+    return atoms
+
+
+def plan_from_atoms(seed: int, atoms: Sequence[Atom]) -> FaultPlan:
+    """Rebuild a plan holding exactly ``atoms`` (same plan seed, so
+    the injector's packet-level RNG streams are unchanged)."""
+    plan = FaultPlan(seed=seed)
+    for kind, rule in atoms:
+        if kind == "link":
+            plan.link_rules.append(rule)
+        elif kind == "stall":
+            plan.nic_stalls.append(rule)
+        elif kind == "qp":
+            plan.qp_errors.append(rule)
+        elif kind == "rnr":
+            plan.rnr_rules.append(rule)
+        elif kind == "crash":
+            plan.crashes.append(rule)
+        elif kind == "flap":
+            plan.flap_link(rule.machine, rule.at_ns, rule.down_ns)
+        else:
+            raise ValueError("unknown atom kind %r" % (kind,))
+    return plan
+
+
+def _window_variants(atom: Atom) -> List[Atom]:
+    """Smaller-window versions of one atom, best first."""
+    kind, rule = atom
+    out: List[Atom] = []
+    if kind in ("link", "rnr"):
+        span = rule.end_ns - rule.start_ns
+        if span > MIN_SPAN_NS and span != float("inf"):
+            mid = rule.start_ns + span / 2.0
+            out.append((kind, replace(rule, end_ns=mid)))
+            out.append((kind, replace(rule, start_ns=mid)))
+    elif kind in ("crash", "flap"):
+        if rule.down_ns > MIN_SPAN_NS:
+            out.append((kind, replace(rule, down_ns=rule.down_ns / 2.0)))
+    elif kind == "stall":
+        if rule.duration_ns > MIN_SPAN_NS:
+            out.append((kind, replace(rule, duration_ns=rule.duration_ns / 2.0)))
+    elif kind == "qp":
+        if rule.recover_after_ns and rule.recover_after_ns > MIN_SPAN_NS:
+            out.append(
+                (kind, replace(rule, recover_after_ns=rule.recover_after_ns / 2.0))
+            )
+    return out
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal reproducer and how much work finding it took."""
+
+    schedule: Schedule  # with the minimized plan
+    atoms_before: int
+    atoms_after: int
+    tests: int
+    #: True when the result is verified 1-minimal (budget not exhausted)
+    minimal: bool
+    violations: List[str]
+    fingerprint: str
+
+    def summary(self) -> str:
+        return (
+            "shrunk %s seed=%d: %d -> %d atoms in %d tests%s"
+            % (
+                self.schedule.dataplane,
+                self.schedule.seed,
+                self.atoms_before,
+                self.atoms_after,
+                self.tests,
+                "" if self.minimal else " (budget exhausted; not 1-minimal)",
+            )
+        )
+
+
+class _Runner:
+    """Memoized, budgeted oracle: does this plan still fail?"""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        extra_oracles: Sequence[Oracle],
+        max_tests: int,
+    ) -> None:
+        self.schedule = schedule
+        self.extra_oracles = tuple(extra_oracles)
+        self.max_tests = max_tests
+        self.tests = 0
+        self.exhausted = False
+        self._cache = {}
+
+    def fails(self, plan: FaultPlan) -> bool:
+        key = repr(plan.to_dict())
+        if key in self._cache:
+            return self._cache[key]
+        if self.tests >= self.max_tests:
+            # out of budget: treat as passing so every loop terminates;
+            # the caller reports minimal=False
+            self.exhausted = True
+            return False
+        self.tests += 1
+        result = run_schedule(self.schedule.with_plan(plan), self.extra_oracles)
+        verdict = bool(result.violations)
+        self._cache[key] = verdict
+        return verdict
+
+
+def _ddmin(
+    atoms: List[Atom], fails: Callable[[Sequence[Atom]], bool]
+) -> List[Atom]:
+    n = 2
+    while len(atoms) >= 2:
+        chunk = max(1, len(atoms) // n)
+        reduced = False
+        for i in range(0, len(atoms), chunk):
+            complement = atoms[:i] + atoms[i + chunk:]
+            if complement and fails(complement):
+                atoms = complement
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(atoms):
+                break
+            n = min(len(atoms), n * 2)
+    return atoms
+
+
+def shrink_schedule(
+    schedule: Schedule,
+    extra_oracles: Sequence[Oracle] = (),
+    max_tests: int = 400,
+) -> ShrinkResult:
+    """Minimize a failing schedule to a locally-minimal reproducer.
+
+    Raises ``ValueError`` if the schedule does not fail in the first
+    place (a shrinker fed a passing schedule is a harness bug).
+    """
+    runner = _Runner(schedule, extra_oracles, max_tests)
+    seed = schedule.plan.seed
+    original = atoms_of(schedule.plan)
+
+    def atoms_fail(atoms: Sequence[Atom]) -> bool:
+        return runner.fails(plan_from_atoms(seed, atoms))
+
+    if not runner.fails(schedule.plan):
+        raise ValueError(
+            "schedule %s seed=%d does not fail; nothing to shrink"
+            % (schedule.dataplane, schedule.seed)
+        )
+
+    # A failure with *no* faults reproduces on the empty plan: the bug
+    # is in the dataplane itself and the minimal reproducer is empty.
+    if original and atoms_fail([]):
+        atoms: List[Atom] = []
+    else:
+        atoms = _ddmin(list(original), atoms_fail)
+        # explicit 1-minimality: every atom, removed alone, must be
+        # load-bearing (ddmin guarantees this only at its final
+        # granularity; re-verify each removal)
+        i = 0
+        while i < len(atoms) and len(atoms) > 1:
+            candidate = atoms[:i] + atoms[i + 1:]
+            if atoms_fail(candidate):
+                atoms = candidate
+            else:
+                i += 1
+        # window halving: tighten surviving atoms in time
+        for _ in range(8):
+            improved = False
+            for i in range(len(atoms)):
+                for variant in _window_variants(atoms[i]):
+                    candidate = atoms[:i] + [variant] + atoms[i + 1:]
+                    if atoms_fail(candidate):
+                        atoms = candidate
+                        improved = True
+                        break
+                if improved:
+                    break
+            if not improved or runner.exhausted:
+                break
+
+    minimal_plan = plan_from_atoms(seed, atoms)
+    final = run_schedule(schedule.with_plan(minimal_plan), extra_oracles)
+    return ShrinkResult(
+        schedule=schedule.with_plan(minimal_plan),
+        atoms_before=len(original),
+        atoms_after=len(atoms),
+        tests=runner.tests,
+        minimal=not runner.exhausted,
+        violations=list(final.violations),
+        fingerprint=final.fingerprint,
+    )

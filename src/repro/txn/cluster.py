@@ -181,6 +181,8 @@ class TxnCluster:
         self._wire(n_clients, seed)
         #: commit ack timestamps, for the crash-window count
         self._commit_times: List[float] = []
+        #: fault injector, when install_faults() was called
+        self._injector = None
 
     def _request_landed(self, server: TxnServerProcess):
         slot = self.config.req_slot_bytes
@@ -224,6 +226,38 @@ class TxnCluster:
 
     # ------------------------------------------------------------------
 
+    def install_faults(self, plan):
+        """Install a :class:`~repro.faults.plan.FaultPlan` on the
+        cluster's fabric and devices (the nemesis path).
+
+        Crash rules are not supported here — a transaction crash arm is
+        expressed as ``TxnConfig.crash``, which pauses a participant
+        process; plan-level crash rules target HERD server processes.
+        The injector is deactivated at the measurement horizon by
+        :meth:`run`, so the drain (and therefore the audited history's
+        tail) is fault-free, mirroring the chaos harness.
+        """
+        from repro.faults.injector import FaultInjector
+
+        if plan.crashes:
+            raise ValueError(
+                "crash rules must be mapped onto TxnConfig.crash; "
+                "the txn fabric injector cannot crash HERD servers"
+            )
+        devices = {"server": self.server_device}
+        for device in self.client_devices:
+            devices[device.machine.name] = device
+        for device in devices.values():
+            # The one-sided commit protocol pipelines WRITEs on RC and
+            # relies on the transport's in-order exactly-once contract
+            # (there is no CPU on the path to re-sequence at the app
+            # layer).  The fabric injector acts *below* PSN on real
+            # hardware, so model the PSN machinery whenever faults are
+            # installed here; without faults the flag is moot.
+            device.enforce_rc_ordering = True
+        self._injector = FaultInjector(plan, self.fabric, devices=devices)
+        return self._injector
+
     def run(self, warmup_ns: float = 20_000.0, measure_ns: float = 150_000.0) -> TxnReport:
         cfg = self.config
         window_end = warmup_ns + measure_ns
@@ -258,6 +292,8 @@ class TxnCluster:
             server = self.servers[partition]
             self.sim.call_in(at_ns, server.crash)
             self.sim.call_in(at_ns + down_ns, server.recover)
+        if self._injector is not None:
+            self.sim.call_in(window_end, self._injector.deactivate)
         self.sim.run(until=window_end)
         # Drain: clients stop starting transactions at the horizon but
         # in-flight ones complete, so the audited history has no

@@ -115,6 +115,24 @@ class RdmaDevice:
         self.qp_error_drops = 0  # packets addressed to an ERROR-state QP
         self.atomics_served = 0  # remote read-modify-writes executed here
         self.atomic_replays = 0  # duplicate atomic requests answered from cache
+        self.psn_gap_drops = 0   # out-of-order reliable packets discarded
+        self.psn_duplicate_drops = 0  # already-delivered packets re-acked
+        #: Model the RC transport's in-order exactly-once contract on
+        #: WRITE/SEND flows: sequential PSNs on request packets,
+        #: responder-side expected-PSN tracking (duplicates re-acked
+        #: and discarded, gaps discarded until the retransmit arrives),
+        #: and cumulative PSN-matched ACKs at the requester.  Off by
+        #: default: the legacy FIFO ACK matching is kept for every
+        #: existing harness (their fingerprints are pinned); the
+        #: nemesis turns this on for dataplanes whose correctness
+        #: *relies* on RC ordering (one-sided commits bypass the CPU,
+        #: so no application-level sequencing can paper over the
+        #: fabric's reordering the way the HA mesh protocol does).
+        self.enforce_rc_ordering = False
+        #: responder expected-PSN table: (src machine, src qpn,
+        #: dst qpn) -> next PSN to deliver (only consulted when
+        #: enforce_rc_ordering is set)
+        self._expected_psn: Dict[Tuple[str, int, int], int] = {}
         #: responder replay cache: (src machine, src qpn) -> {psn:
         #: original value}; a retransmitted atomic whose response was
         #: lost is answered from here instead of re-executing the RMW
@@ -377,6 +395,16 @@ class RdmaDevice:
             if wr.on_fetched is not None:
                 wr.on_fetched()
         kind = _EGRESS_KIND[wr.opcode]
+        if (
+            self.enforce_rc_ordering
+            and qp.transport.reliable
+            and kind in (PacketKind.WRITE, PacketKind.SEND)
+        ):
+            # Sequential PSNs let the responder deliver in post order
+            # and the requester match ACKs cumulatively (go-back-N).
+            qp.send_psn += 1
+            psn = qp.send_psn
+            wr._psn = psn
         packet = Packet(
             kind,
             qp.transport,
@@ -487,7 +515,58 @@ class RdmaDevice:
         handler = self._ingress_handler[kind]
         done.add_callback(lambda _e: handler(packet))
 
+    # -- RC ordering enforcement (enforce_rc_ordering only) ------------
+
+    def _rc_ordered(self, packet: Packet) -> bool:
+        """Whether this packet participates in the enforced PSN stream.
+
+        ``psn > 0`` excludes packets from senders that do not stamp
+        sequential PSNs (the flag is per device, and PSN 0 is the
+        unstamped default), so mixed clusters degrade to legacy
+        delivery instead of discarding everything as duplicates.
+        """
+        return (
+            self.enforce_rc_ordering
+            and packet.transport.reliable
+            and packet.psn > 0
+        )
+
+    def _psn_key(self, packet: Packet) -> Tuple[str, int, int]:
+        return (packet.src_machine, packet.src_qpn, packet.dst_qpn)
+
+    def _psn_check(self, packet: Packet) -> int:
+        """-1 = already delivered, 0 = in order, +1 = gap ahead."""
+        expected = self._expected_psn.get(self._psn_key(packet), 1)
+        if packet.psn == expected:
+            return 0
+        return -1 if packet.psn < expected else 1
+
+    def _psn_discard(self, packet: Packet, verdict: int) -> None:
+        if verdict < 0:
+            # Duplicate (our ACK was lost, or the fabric cloned the
+            # packet): discard the side effect, re-ack our cumulative
+            # progress so the requester's retransmit timer stands down.
+            self.psn_duplicate_drops += 1
+            self._send_ack(
+                packet, psn=self._expected_psn.get(self._psn_key(packet), 1) - 1
+            )
+        else:
+            # Gap: an earlier packet is still missing.  Real RC NAKs
+            # and the requester goes back; here the per-packet
+            # retransmit timers re-send everything unacked in post
+            # order, so silently discarding converges the same way.
+            self.psn_gap_drops += 1
+
+    def _psn_advance(self, packet: Packet) -> None:
+        self._expected_psn[self._psn_key(packet)] = packet.psn + 1
+
     def _handle_write(self, packet: Packet) -> None:
+        if self._rc_ordered(packet):
+            verdict = self._psn_check(packet)
+            if verdict != 0:
+                self._psn_discard(packet, verdict)
+                return
+            self._psn_advance(packet)
         mr = self.mr_table.resolve(packet.raddr, packet.rkey, packet.length)
         offset = mr.offset_of(packet.raddr)
         mr.write(offset, packet.payload)
@@ -509,10 +588,19 @@ class RdmaDevice:
         qp = self.qps.get(packet.dst_qpn)
         if qp is None:
             raise VerbError("SEND to unknown QP %d" % packet.dst_qpn)
+        ordered = self._rc_ordered(packet)
+        if ordered:
+            # Duplicates must be rejected *before* they consume a RECV.
+            verdict = self._psn_check(packet)
+            if verdict != 0:
+                self._psn_discard(packet, verdict)
+                return
         if self.rnr_hook is not None and self.rnr_hook(packet):
             # Injected RECV-queue exhaustion: the message is discarded
             # exactly as if the application had fallen behind on
             # replenishing RECVs (an RNR drop on these transports).
+            # Under enforced ordering the PSN does not advance and no
+            # ACK is sent, so the requester retries — RNR semantics.
             qp.rnr_drops += 1
             return
         if not qp.recv_queue:
@@ -520,6 +608,8 @@ class RdmaDevice:
             # retries, as the paper's designs never let this happen).
             qp.rnr_drops += 1
             return
+        if ordered:
+            self._psn_advance(packet)
         rr = qp.recv_queue.popleft()
         mr, offset, capacity = rr.local
         grh = self.profile.grh_bytes if qp.transport is Transport.UD else 0
@@ -582,6 +672,14 @@ class RdmaDevice:
         wr = packet.wr
         if qp is None or wr is None:
             raise VerbError("READ response for unknown QP/WR")
+        if self.enforce_rc_ordering and getattr(wr, "_acked", False):
+            # A cloned/replayed response after the original: without
+            # this guard it would overwrite the landing buffer with
+            # stale bytes and push a second CQE for the same WR
+            # (mirrors the _handle_atomic_resp guard; gated so legacy
+            # harnesses keep their pinned fingerprints).
+            self.duplicate_acks += 1
+            return
         wr._acked = True
         mr, offset, _length = wr.local
         mr.write(offset, packet.payload)
@@ -691,7 +789,7 @@ class RdmaDevice:
 
         landed.add_callback(on_landed)
 
-    def _send_ack(self, packet: Packet) -> None:
+    def _send_ack(self, packet: Packet, psn: Optional[int] = None) -> None:
         ack = Packet(
             PacketKind.ACK,
             packet.transport,
@@ -699,6 +797,7 @@ class RdmaDevice:
             packet.dst_qpn,
             packet.src_machine,
             packet.src_qpn,
+            psn=packet.psn if psn is None else psn,
             wr=packet.wr,
         )
         served = self.machine.nic_egress.serve(self.profile.nic_ingress_ack_ns)
@@ -710,6 +809,23 @@ class RdmaDevice:
         if qp is None or not qp.unacked:
             self.duplicate_acks += 1
             return  # duplicate ACK after a retransmit; harmless
+        if self._rc_ordered(packet):
+            # Cumulative: an ACK for PSN n acknowledges every send up
+            # to n, so a lost ACK is repaired by the next one instead
+            # of mis-crediting the FIFO head (which would disarm the
+            # dropped packet's retransmit timer and lose the write).
+            popped = False
+            while qp.unacked and getattr(qp.unacked[0], "_psn", 0) <= packet.psn:
+                wr = qp.unacked.popleft()
+                wr._acked = True
+                if wr.signaled:
+                    self._push_cqe(
+                        qp.send_cq, Cqe(wr.wr_id, wr.opcode, byte_len=wr.length)
+                    )
+                popped = True
+            if not popped:
+                self.duplicate_acks += 1
+            return
         wr = qp.unacked.popleft()
         wr._acked = True
         if wr.signaled:

@@ -49,6 +49,12 @@ class QueuePair:
         #: per-QP packet sequence number stamped on atomic requests;
         #: the responder's replay cache dedups retransmits by it
         self.atomic_psn = 0
+        #: per-QP packet sequence number stamped on WRITE/SEND request
+        #: packets when the device enforces RC ordering
+        #: (:attr:`RdmaDevice.enforce_rc_ordering`); the responder's
+        #: expected-PSN check and the requester's cumulative ACKs key
+        #: off it
+        self.send_psn = 0
         #: transmit-ordering gate: RDMA executes a QP's WQEs in post
         #: order, so a payload DMA fetch must not let later (e.g.
         #: inlined) WQEs overtake this one onto the wire

@@ -178,8 +178,8 @@ class WorkRequest:
     make sense on real hardware and reject the rest early.
 
     A plain ``__slots__`` class for the same reason as :class:`Cqe`;
-    ``_acked`` is reserved for the device's reliable-transport
-    bookkeeping and left unset until first use.
+    ``_acked`` and ``_psn`` are reserved for the device's
+    reliable-transport bookkeeping and left unset until first use.
     """
 
     __slots__ = (
@@ -197,6 +197,7 @@ class WorkRequest:
         "compare_add",
         "swap",
         "_acked",
+        "_psn",
     )
 
     def __init__(

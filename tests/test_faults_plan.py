@@ -1,9 +1,11 @@
 """The FaultPlan DSL, named RNG streams, and config validation."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.faults import FaultPlan, child_rng, derive_seed
-from repro.faults.plan import DROP
+from repro.faults.plan import DROP, RANDOMIZED_KIND_POOL
 from repro.herd import HerdConfig
 
 
@@ -119,6 +121,145 @@ def test_randomized_crash_needs_a_sibling():
     (crash,) = many.crashes
     assert 0 <= crash.server_index < 4
     assert crash.at_ns + crash.down_ns < 100_000.0
+
+
+def _plan_with_every_rule_type() -> FaultPlan:
+    """One plan holding every rule type the DSL can express."""
+    return (
+        FaultPlan(seed=5)
+        .drop(src="cm0", rate=0.1, start_ns=0.0, end_ns=40.0)
+        .corrupt(rate=0.05, start_ns=0.0, end_ns=40.0)
+        .duplicate(rate=0.1, copies=2, dup_delay_ns=100.0)
+        .delay(400.0, rate=0.3)
+        .reorder(300.0, rate=0.2)
+        .degrade(src="server", latency_add_ns=500.0, rate_mult=0.5,
+                 start_ns=10.0, end_ns=20.0)
+        .partition_oneway("cm0", "server", end_ns=50.0)
+        .lose_heartbeats("rep1", rate=0.9, start_ns=5.0, end_ns=25.0)
+        .nic_stall("server", engine="egress", at_ns=1.0, duration_ns=2.0)
+        .qp_error("cm1", qpn=3, at_ns=4.0, recover_after_ns=6.0)
+        .rnr("cm3", rate=0.5, end_ns=9.0)
+        .crash_server(0, at_ns=7.0, down_ns=8.0)
+        .flap_link("cm2", at_ns=30.0, down_ns=8.0)
+    )
+
+
+def test_describe_covers_every_rule_type():
+    """Satellite audit: every rule type renders exactly once, with its
+    per-kind parameters, and flap sugar drops never double-render."""
+    plan = _plan_with_every_rule_type()
+    lines = plan.describe().splitlines()
+    assert lines[0] == "FaultPlan(seed=5)"
+    # One line per logical fault: 8 non-flap link rules + 1 stall +
+    # 1 qp error + 1 rnr + 1 crash + 1 flap.
+    assert len(lines) == 1 + 13
+    body = "\n".join(lines[1:])
+    assert "drop        cm0->* rate=0.1 during [0, 40) ns" in body
+    assert "corrupt" in body
+    assert "duplicate   *->* rate=0.1 x2 every 100 ns" in body
+    assert "delay       *->* rate=0.3 +400 ns" in body
+    assert "reorder     *->* rate=0.2 jitter<300 ns" in body
+    assert "degrade     server->* rate=1 tx x2 +500 ns during [10, 20) ns" in body
+    assert "partition1w cm0->server rate=1 during [0, 50) ns" in body
+    assert "hb_loss     rep1->monitor rate=0.9 kind=SEND ctrl=4 during [5, 25) ns" in body
+    assert "nic-stall   server.egress at 1 ns for 2 ns" in body
+    assert "qp-error    cm1 qp3 at 4 ns recover +6 ns" in body
+    assert "rnr         cm3 rate=0.5 during [0, 9) ns" in body
+    assert "crash       server 0 at 7 ns, down 8 ns" in body
+    assert "flap        cm2 at 30 ns, down 8 ns" in body
+    # The flap renders from its record, not from its two sugar drops.
+    assert body.count("flap") == 1
+
+
+def test_describe_omits_recover_when_qp_error_is_permanent():
+    text = FaultPlan().qp_error("cm0", qpn=1, at_ns=5.0).describe()
+    assert "qp-error    cm0 qp1 at 5 ns" in text
+    assert "recover" not in text
+
+
+def test_clamped_audits_every_rule_type():
+    """Satellite audit: clamping closes every windowed rule type, leaves
+    instantaneous device rules alone, and keeps flap records in sync
+    with their sugar drops."""
+    plan = _plan_with_every_rule_type()
+    clamped = plan.clamped(15.0)
+    # Every link rule's window (including open-ended and flap sugar)
+    # now ends at or before the clamp.
+    assert all(r.end_ns <= 15.0 for r in clamped.link_rules)
+    assert all(r.end_ns <= 15.0 for r in clamped.rnr_rules)
+    # Instantaneous device/process events are not windows: untouched.
+    assert clamped.nic_stalls == plan.nic_stalls
+    assert clamped.qp_errors == plan.qp_errors
+    assert clamped.crashes == plan.crashes
+    # The flap at 30 ns starts after the clamp: its downtime collapses
+    # to zero (never negative), matching its clamped sugar drops.
+    (flap,) = clamped.flaps
+    assert flap.at_ns == 30.0 and flap.down_ns == 0.0
+    # The original plan is untouched throughout.
+    assert plan.flaps[0].down_ns == 8.0
+    assert any(r.end_ns > 15.0 for r in plan.link_rules)
+
+
+def test_clamped_preserves_closed_windows_and_serializes():
+    plan = _plan_with_every_rule_type()
+    clamped = plan.clamped(1_000.0)
+    # Windows already inside the clamp are byte-identical; only the
+    # open-ended ones close.
+    for before, after in zip(plan.link_rules, clamped.link_rules):
+        assert after == (before if before.end_ns <= 1_000.0 else
+                         replace(before, end_ns=1_000.0))
+    assert clamped.flaps == plan.flaps
+    # clamped() output round-trips through the artifact serializer.
+    assert FaultPlan.from_dict(clamped.to_dict()).to_dict() == clamped.to_dict()
+
+
+def test_plan_with_only_flap_records_is_not_empty():
+    # A plan rebuilt field-by-field may carry flap records without
+    # their sugar drops; it must not read as empty.
+    plan = FaultPlan()
+    plan.flaps = list(FaultPlan().flap_link("cm0", 1.0, 2.0).flaps)
+    assert not plan.empty
+
+
+# ---------------------------------------------------------------------------
+# The randomized kind pool (nemesis vocabulary)
+# ---------------------------------------------------------------------------
+
+
+def test_randomized_kind_pool_covers_the_full_wire_vocabulary():
+    """Satellite pin: the pool the nemesis and targeted chaos draw from
+    includes the transaction dataplanes' atomic packets."""
+    assert RANDOMIZED_KIND_POOL == (
+        "WRITE", "SEND", "READ_REQ", "READ_RESP", "ACK",
+        "ATOMIC_REQ", "ATOMIC_RESP",
+    )
+
+
+def test_targeted_kinds_draw_from_their_own_stream():
+    """targeted_kinds=True appends kind-aimed drops after a shared
+    prefix that is byte-identical to the classic mix."""
+    base = FaultPlan.randomized(9, 100_000.0, n_server_processes=2)
+    targeted = FaultPlan.randomized(
+        9, 100_000.0, n_server_processes=2, targeted_kinds=True
+    )
+    n = len(base.link_rules)
+    assert targeted.link_rules[:n] == base.link_rules
+    assert targeted.nic_stalls == base.nic_stalls
+    assert targeted.crashes == base.crashes
+    extra = targeted.link_rules[n:]
+    assert len(extra) == 2
+    assert all(r.packet_kind in RANDOMIZED_KIND_POOL for r in extra)
+    assert all(r.kind == DROP for r in extra)
+
+
+def test_targeted_kinds_can_aim_at_atomics():
+    # Seed pin: this draw includes an atomic packet kind, proving the
+    # pool extension is reachable (not just declared).
+    plan = FaultPlan.randomized(
+        1, 100_000.0, n_server_processes=2, targeted_kinds=True
+    )
+    kinds = {r.packet_kind for r in plan.link_rules if r.packet_kind}
+    assert "ATOMIC_REQ" in kinds
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,91 @@
+"""LeaseMonitor under heartbeat-selective one-way loss.
+
+The gray failure lease protocols are worst at: a replica's control
+traffic vanishes in exactly one direction while every data packet
+still flows.  ``FaultPlan.lose_heartbeats`` injects it; the chaos
+harness's oracle suite (no split-brain acks, zero lost acked writes,
+strictly monotonic fencing epochs, linearizability) judges the run.
+
+Both directions are exercised:
+
+* ``to_monitor`` — the monitor stops hearing the primary and must
+  promote; the old primary keeps serving until its lease lapses, so
+  the fencing epoch is what keeps the overlap safe;
+* ``from_monitor`` — GRANTs are lost, the primary self-demotes
+  conservatively, and no promotion may happen at all (the monitor
+  still believes it alive).
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, run_chaos
+
+BASE = dict(
+    seed=11,
+    scenario="nemesis",
+    horizon_ns=300_000.0,
+    n_clients=4,
+    n_items=48,
+    value_size=24,
+    n_server_processes=2,
+    replication_factor=3,
+    ack_policy="majority",
+)
+
+
+def _heartbeat_blackout():
+    # Total heartbeat loss from the primary for 80 us: long enough to
+    # expire the lease several times over, so the monitor must act.
+    return FaultPlan(seed=4).lose_heartbeats(
+        "server", rate=1.0, start_ns=60_000.0, end_ns=140_000.0,
+        direction="to_monitor",
+    )
+
+
+@pytest.fixture(scope="module")
+def blackout_report():
+    return run_chaos(plan=_heartbeat_blackout(), **BASE)
+
+
+def test_heartbeat_blackout_forces_promotion(blackout_report):
+    # The monitor declared the primary dead and failed over even
+    # though not one data packet was lost.
+    assert blackout_report.promotions >= 1
+
+
+def test_no_split_brain_and_no_lost_acked_writes(blackout_report):
+    # The full oracle suite holds: the linearizability checker ran,
+    # no acked write vanished, and the split-brain / fencing-epoch
+    # monotonicity witnesses stayed silent.
+    assert blackout_report.ok, blackout_report.violations
+    assert blackout_report.violations == []
+    assert blackout_report.checker == "linearizable"
+    assert blackout_report.ops_lost == 0
+    assert blackout_report.ops_acked > 0
+
+
+def test_flap_count_is_bounded(blackout_report):
+    # One 80 us blackout must not make the monitor thrash: each
+    # promotion requires a fresh lease expiry, so the count is bounded
+    # by blackout length over lease time — not by heartbeat count.
+    assert 1 <= blackout_report.promotions <= 3
+
+
+def test_heartbeat_blackout_is_deterministic(blackout_report):
+    again = run_chaos(plan=_heartbeat_blackout(), **BASE)
+    assert again.fingerprint == blackout_report.fingerprint
+    assert again.promotions == blackout_report.promotions
+
+
+def test_grant_loss_never_promotes():
+    # Losing GRANTs to a non-primary replica starves *its* lease, but
+    # the monitor keeps hearing every heartbeat: promoting would be a
+    # split-brain bug.
+    plan = FaultPlan(seed=4).lose_heartbeats(
+        "rep1", rate=1.0, start_ns=60_000.0, end_ns=120_000.0,
+        direction="from_monitor",
+    )
+    report = run_chaos(plan=plan, **BASE)
+    assert report.ok, report.violations
+    assert report.promotions == 0
+    assert report.ops_lost == 0

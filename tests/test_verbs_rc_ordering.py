@@ -1,0 +1,208 @@
+"""Opt-in RC PSN ordering enforcement on the simulated device.
+
+Real RC hardware stamps request packets with sequence numbers, acks
+cumulatively, and discards out-of-order arrivals at the responder.
+The simulator's default transport skips all of that (FIFO ack
+matching, deliver-whatever-arrives) — fine for HERD's UC/UD wire, but
+it under-models RC for consumers that pipeline dependent WRITEs (the
+one-sided transaction commit).  ``RdmaDevice.enforce_rc_ordering``
+turns the faithful behavior on; these tests pin both the legacy gap
+and the enforced semantics.
+
+The nemesis found the gap: see docs/NEMESIS.md, "What the nemesis
+found".
+"""
+
+from repro.hw import APT, Fabric, Machine
+from repro.hw.link import LinkVerdict
+from repro.sim import Simulator
+from repro.verbs import (
+    RdmaDevice,
+    RecvRequest,
+    Transport,
+    WorkRequest,
+    connect_pair,
+)
+
+
+def make_world(enforce=False):
+    sim = Simulator()
+    fabric = Fabric(sim, APT)
+    server = RdmaDevice(Machine(sim, fabric, "server"))
+    client = RdmaDevice(Machine(sim, fabric, "client"))
+    server.enforce_rc_ordering = enforce
+    client.enforce_rc_ordering = enforce
+    return sim, fabric, server, client
+
+
+def drop_first(kind):
+    """A fault hook dropping the first packet of ``kind`` it sees."""
+    state = {"armed": True}
+
+    def hook(src, dst, packet, wire_bytes):
+        if packet.kind.name == kind and state["armed"]:
+            state["armed"] = False
+            return LinkVerdict(drop=True)
+        return None
+
+    return hook
+
+
+def duplicate_every(kind):
+    def hook(src, dst, packet, wire_bytes):
+        if packet.kind.name == kind:
+            return LinkVerdict(duplicate=1, dup_delay_ns=500.0)
+        return None
+
+    return hook
+
+
+def test_enforcement_is_off_by_default():
+    _sim, _fabric, server, client = make_world()
+    # The flag must stay opt-in: every pinned fingerprint in the repo
+    # was produced by the legacy transport.
+    sim2 = Simulator()
+    dev = RdmaDevice(Machine(sim2, Fabric(sim2, APT), "m"))
+    assert dev.enforce_rc_ordering is False
+    assert dev.psn_gap_drops == 0 and dev.psn_duplicate_drops == 0
+
+
+def post_two_writes(client, cqp, mr):
+    client.post_send(
+        cqp,
+        WorkRequest.write(
+            raddr=mr.addr, rkey=mr.rkey, payload=b"A", inline=True, signaled=True
+        ),
+    )
+    client.post_send(
+        cqp,
+        WorkRequest.write(
+            raddr=mr.addr + 1, rkey=mr.rkey, payload=b"B", inline=True, signaled=True
+        ),
+    )
+
+
+def test_legacy_fifo_ack_matching_loses_a_dropped_write():
+    """The gap the nemesis shrank to: drop the first of two pipelined
+    WRITEs and the second ack is FIFO-credited to the *first* WR —
+    both complete "successfully" while byte A never arrives."""
+    sim, fabric, server, client = make_world(enforce=False)
+    mr = server.register_memory(4096)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    fabric.fault_hook = drop_first("WRITE")
+    post_two_writes(client, cqp, mr)
+    sim.run_until_idle()
+    assert len(cqp.send_cq.poll()) == 2  # both claim success...
+    assert mr.read(0, 2) == b"\x00B"  # ...but the acked write is lost
+
+
+def test_psn_enforcement_repairs_the_dropped_write():
+    sim, fabric, server, client = make_world(enforce=True)
+    mr = server.register_memory(4096)
+    _sqp, cqp = connect_pair(server, client, Transport.RC)
+    fabric.fault_hook = drop_first("WRITE")
+    post_two_writes(client, cqp, mr)
+    sim.run_until_idle()
+    # The out-of-order second WRITE is discarded at the responder and
+    # retransmitted in order; both bytes land and both WRs complete.
+    assert mr.read(0, 2) == b"AB"
+    assert len(cqp.send_cq.poll()) == 2
+    assert server.psn_gap_drops == 1
+
+
+def test_duplicate_send_is_discarded_not_redelivered():
+    for enforce, want_cqes, want_dups in ((False, 2, 0), (True, 1, 1)):
+        sim, fabric, server, client = make_world(enforce)
+        rmr = server.register_memory(4096)
+        sqp, cqp = connect_pair(server, client, Transport.RC)
+        server.post_recv(sqp, RecvRequest(wr_id=1, local=(rmr, 0, 16)))
+        server.post_recv(sqp, RecvRequest(wr_id=2, local=(rmr, 16, 16)))
+        fabric.fault_hook = duplicate_every("SEND")
+        client.post_send(
+            cqp, WorkRequest.send(payload=b"m", inline=True, signaled=True)
+        )
+        sim.run_until_idle()
+        # Legacy: the duplicate consumes a second RECV and delivers a
+        # phantom message.  Enforced: the duplicate is re-acked with
+        # the previous PSN and discarded.
+        assert len(sqp.recv_cq.poll()) == want_cqes
+        assert server.sends_received == want_cqes
+        assert server.psn_duplicate_drops == want_dups
+
+
+def test_cumulative_ack_repairs_a_lost_ack_without_retransmit():
+    # Drop the first WRITE's ACK.  Legacy FIFO matching mis-credits
+    # the second ACK to the first WR and the second WRITE retransmits
+    # (3 arrivals).  Cumulative PSN acks cover both WRs at once.
+    for enforce, want_writes in ((False, 3), (True, 2)):
+        sim, fabric, server, client = make_world(enforce)
+        mr = server.register_memory(4096)
+        _sqp, cqp = connect_pair(server, client, Transport.RC)
+        fabric.fault_hook = drop_first("ACK")
+        post_two_writes(client, cqp, mr)
+        sim.run_until_idle()
+        assert mr.read(0, 2) == b"AB"
+        assert len(cqp.send_cq.poll()) == 2
+        assert server.writes_received == want_writes
+
+
+def test_duplicate_read_resp_is_ignored():
+    for enforce, want_cqes, want_dups in ((False, 2, 0), (True, 1, 1)):
+        sim, fabric, server, client = make_world(enforce)
+        mr = server.register_memory(4096)
+        mr.write(0, b"hello")
+        lmr = client.register_memory(4096)
+        _sqp, cqp = connect_pair(server, client, Transport.RC)
+        fabric.fault_hook = duplicate_every("READ_RESP")
+        client.post_send(
+            cqp,
+            WorkRequest.read(
+                raddr=mr.addr, rkey=mr.rkey, local=(lmr, 0, 5), signaled=True
+            ),
+        )
+        sim.run_until_idle()
+        assert lmr.read(0, 5) == b"hello"
+        # Legacy: the duplicate response completes the same WR twice.
+        assert len(cqp.send_cq.poll()) == want_cqes
+        assert client.duplicate_acks == want_dups
+
+
+def test_enforcement_does_not_change_a_clean_rc_exchange():
+    """With no faults the enforced transport is behaviorally identical:
+    same bytes, same completions, no PSN discards."""
+    results = []
+    for enforce in (False, True):
+        sim, fabric, server, client = make_world(enforce)
+        mr = server.register_memory(4096)
+        rmr = server.register_memory(4096)
+        lmr = client.register_memory(4096)
+        sqp, cqp = connect_pair(server, client, Transport.RC)
+        server.post_recv(sqp, RecvRequest(wr_id=9, local=(rmr, 0, 16)))
+        client.post_send(
+            cqp,
+            WorkRequest.write(
+                raddr=mr.addr, rkey=mr.rkey, payload=b"wx", inline=True, signaled=True
+            ),
+        )
+        client.post_send(
+            cqp, WorkRequest.send(payload=b"sy", inline=True, signaled=True)
+        )
+        client.post_send(
+            cqp,
+            WorkRequest.read(
+                raddr=mr.addr, rkey=mr.rkey, local=(lmr, 0, 2), signaled=True
+            ),
+        )
+        sim.run_until_idle()
+        results.append(
+            (
+                mr.read(0, 2),
+                rmr.read(0, 2),
+                lmr.read(0, 2),
+                len(cqp.send_cq.poll()),
+                len(sqp.recv_cq.poll()),
+                server.psn_gap_drops + server.psn_duplicate_drops,
+            )
+        )
+    assert results[0] == results[1]
+    assert results[1][-1] == 0
